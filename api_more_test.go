@@ -1,0 +1,148 @@
+package dagsched_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dagsched"
+)
+
+func demoSchedule(t *testing.T) *dagsched.Schedule {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	g, err := dagsched.GaussianEliminationDAG(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: 3, CCR: 1, Beta: 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dagsched.ILS().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExportersThroughFacade(t *testing.T) {
+	s := demoSchedule(t)
+	var svg, js, trace, img bytes.Buffer
+	if err := dagsched.WriteGanttSVG(&svg, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg.String(), "<svg") {
+		t.Fatal("no svg")
+	}
+	if err := dagsched.WriteScheduleJSON(&js, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"algorithm"`) {
+		t.Fatal("no schedule json")
+	}
+	if err := dagsched.WriteChromeTrace(&trace, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), "traceEvents") {
+		t.Fatal("no trace")
+	}
+	if err := dagsched.WriteGanttPNG(&img, s, 400); err != nil {
+		t.Fatal(err)
+	}
+	if img.Len() == 0 {
+		t.Fatal("no png bytes")
+	}
+}
+
+func TestAnalyzeAndRepairThroughFacade(t *testing.T) {
+	s := demoSchedule(t)
+	an := dagsched.Analyze(s)
+	if len(an.Critical) == 0 || len(an.Slack) != s.Instance().N() {
+		t.Fatalf("analysis = %+v", an)
+	}
+	r, imp, err := dagsched.AssessFailure(s, dagsched.Failure{Proc: 0, Time: s.Makespan() / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if imp.Original != s.Makespan() || imp.Repaired < imp.Original-1e-9 {
+		t.Fatalf("impact = %+v", imp)
+	}
+	r2, err := dagsched.Repair(s, dagsched.Failure{Proc: 1, Time: 0})
+	if err != nil || r2.Validate() != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+}
+
+func TestInstanceJSONThroughFacade(t *testing.T) {
+	s := demoSchedule(t)
+	in := s.Instance()
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dagsched.ReadInstanceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := dagsched.ILS().Schedule(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Makespan() != s.Makespan() {
+		t.Fatalf("round-tripped instance schedules differently: %g vs %g", s2.Makespan(), s.Makespan())
+	}
+}
+
+func TestDAXThroughFacade(t *testing.T) {
+	const mini = `<adag name="m"><job id="a" runtime="2"/><job id="b" runtime="3"/>
+	  <child ref="b"><parent ref="a"/></child></adag>`
+	g, err := dagsched.ReadDAX(strings.NewReader(mini), dagsched.DAXOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestMoreWorkloadsThroughFacade(t *testing.T) {
+	gens := map[string]func() (*dagsched.Graph, error){
+		"intree":      func() (*dagsched.Graph, error) { return dagsched.InTreeDAG(2, 3) },
+		"outtree":     func() (*dagsched.Graph, error) { return dagsched.OutTreeDAG(2, 3) },
+		"epigenomics": func() (*dagsched.Graph, error) { return dagsched.EpigenomicsDAG(2, 2) },
+		"cybershake":  func() (*dagsched.Graph, error) { return dagsched.CyberShakeDAG(3) },
+		"ligo":        func() (*dagsched.Graph, error) { return dagsched.LIGODAG(2, 2) },
+	}
+	for name, gen := range gens {
+		g, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.Len() == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+}
+
+func TestVariantsAndSystemsThroughFacade(t *testing.T) {
+	v := dagsched.ILSVariant("my-ils", dagsched.ILSOptions{SigmaRank: true})
+	if v.Name() != "my-ils" {
+		t.Fatal("variant name lost")
+	}
+	if _, err := dagsched.NewSystem(dagsched.SystemConfig{}); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	rng := rand.New(rand.NewSource(4))
+	b := dagsched.NewGraph("g")
+	b.AddTask("", 1)
+	g, _ := b.Build()
+	in, err := dagsched.UnrelatedInstance(g, dagsched.HomogeneousSystem(2, 0, 1), 0.5, rng)
+	if err != nil || in.P() != 2 {
+		t.Fatalf("UnrelatedInstance: %v", err)
+	}
+}

@@ -1,0 +1,168 @@
+package dagsched_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dagsched"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	b := dagsched.NewGraph("demo")
+	a := b.AddTask("a", 2)
+	c := b.AddTask("c", 3)
+	d := b.AddTask("d", 1)
+	b.AddEdge(a, c, 1)
+	b.AddEdge(a, d, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := dagsched.HomogeneousSystem(2, 0, 1)
+	in := dagsched.ConsistentInstance(g, sys)
+	s, err := dagsched.ILS().Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() <= 0 {
+		t.Fatal("zero makespan")
+	}
+	if slr := dagsched.SLR(s); slr < 1 {
+		t.Fatalf("SLR = %g", slr)
+	}
+	var buf bytes.Buffer
+	if err := dagsched.WriteGanttText(&buf, s, 60); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ILS") {
+		t.Fatal("gantt missing algorithm name")
+	}
+}
+
+func TestRegistryThroughFacade(t *testing.T) {
+	if len(dagsched.Algorithms()) != 18 {
+		t.Fatalf("registry size %d", len(dagsched.Algorithms()))
+	}
+	names := dagsched.AlgorithmNames()
+	if len(names) != 21 {
+		t.Fatalf("names size %d", len(names))
+	}
+	if len(dagsched.SearchLineup()) != 3 {
+		t.Fatal("search lineup size")
+	}
+	a, err := dagsched.AlgorithmByName("HEFT")
+	if err != nil || a.Name() != "HEFT" {
+		t.Fatalf("lookup: %v", err)
+	}
+	if len(dagsched.HeterogeneousLineup()) == 0 || len(dagsched.HomogeneousLineup()) == 0 {
+		t.Fatal("empty lineups")
+	}
+}
+
+func TestWorkloadsThroughFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := dagsched.RandomDAG(dagsched.RandomDAGConfig{N: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: 4, CCR: 1, Beta: 0.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dagsched.Evaluate(dagsched.ILS(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "ILS" || res.SLR < 1 {
+		t.Fatalf("Result = %+v", res)
+	}
+	for _, gen := range []func() (*dagsched.Graph, error){
+		func() (*dagsched.Graph, error) { return dagsched.GaussianEliminationDAG(5) },
+		func() (*dagsched.Graph, error) { return dagsched.FFTDAG(8) },
+		func() (*dagsched.Graph, error) { return dagsched.LaplaceDAG(3) },
+		func() (*dagsched.Graph, error) { return dagsched.ForkJoinDAG(3, 2) },
+		func() (*dagsched.Graph, error) { return dagsched.PipelineDAG([]int{2, 3}) },
+		func() (*dagsched.Graph, error) { return dagsched.MontageDAG(4) },
+		func() (*dagsched.Graph, error) { return dagsched.CholeskyDAG(3) },
+		func() (*dagsched.Graph, error) { return dagsched.LUDAG(3) },
+	} {
+		if _, err := gen(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimulateThroughFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, _ := dagsched.RandomDAG(dagsched.RandomDAGConfig{N: 30}, rng)
+	in, _ := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: 3, CCR: 1, Beta: 1}, rng)
+	s, _ := dagsched.ILS().Schedule(in)
+	rep, err := dagsched.Simulate(s, dagsched.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stretch != 1 {
+		t.Fatalf("exact replay stretch = %g", rep.Stretch)
+	}
+}
+
+func TestOptimalThroughFacade(t *testing.T) {
+	b := dagsched.NewGraph("tiny")
+	x := b.AddTask("x", 1)
+	y := b.AddTask("y", 1)
+	b.AddEdge(x, y, 1)
+	g, _ := b.Build()
+	in := dagsched.ConsistentInstance(g, dagsched.HomogeneousSystem(2, 0, 1))
+	s, err := dagsched.Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 2 {
+		t.Fatalf("optimal = %g, want 2", s.Makespan())
+	}
+}
+
+func TestExperimentsThroughFacade(t *testing.T) {
+	if len(dagsched.Experiments()) != 19 {
+		t.Fatalf("suite size %d", len(dagsched.Experiments()))
+	}
+	e, err := dagsched.ExperimentByID("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := e.Run(dagsched.ExperimentConfig{Quick: true, Reps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dagsched.RenderExperimentMarkdown(&buf, tables[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E1") {
+		t.Fatal("markdown missing id")
+	}
+}
+
+func TestGraphJSONThroughFacade(t *testing.T) {
+	b := dagsched.NewGraph("rt")
+	x := b.AddTask("x", 1)
+	y := b.AddTask("y", 2)
+	b.AddEdge(x, y, 3)
+	g, _ := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dagsched.ReadGraphJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.NumEdges() != 1 {
+		t.Fatal("round trip failed")
+	}
+}

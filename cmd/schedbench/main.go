@@ -1,0 +1,64 @@
+// Command schedbench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	schedbench                  # the full suite E1..E16 as markdown
+//	schedbench -exp E2,E9       # selected experiments
+//	schedbench -quick           # reduced sweeps (seconds instead of minutes)
+//	schedbench -reps 50 -seed 7 # more repetitions, different seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dagsched"
+)
+
+func main() {
+	var (
+		exps    = flag.String("exp", "all", "comma-separated experiment ids (e.g. E1,E9) or 'all'")
+		reps    = flag.Int("reps", 0, "repetitions per design point (0 = experiment default)")
+		seed    = flag.Int64("seed", 0, "base random seed")
+		quick   = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		workers = flag.Int("workers", 0, "repetition worker pool size (0 = GOMAXPROCS); never affects results")
+	)
+	flag.Parse()
+
+	var selected []dagsched.Experiment
+	if *exps == "all" {
+		selected = dagsched.Experiments()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			e, err := dagsched.ExperimentByID(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+	cfg := dagsched.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers}
+	fmt.Printf("# dagsched experiment suite (%d experiments, quick=%v, seed=%d)\n\n",
+		len(selected), *quick, *seed)
+	for _, e := range selected {
+		start := time.Now()
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		for _, t := range tables {
+			if err := dagsched.RenderExperimentMarkdown(os.Stdout, t); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedbench:", err)
+	os.Exit(1)
+}

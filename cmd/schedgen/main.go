@@ -1,0 +1,129 @@
+// Command schedgen generates workload task graphs as JSON (and optionally
+// Graphviz DOT).
+//
+// Usage:
+//
+//	schedgen -type random -n 100 -shape 1.0 -outdeg 4 -seed 7 -o g.json
+//	schedgen -type gauss -m 15 -dot g.dot
+//	schedgen -type fft -n 64
+//
+// Types: random, gauss, fft, laplace, forkjoin, intree, outtree,
+// pipeline, montage, cholesky, lu.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"dagsched"
+)
+
+func main() {
+	var (
+		typ    = flag.String("type", "random", "workload type (random|gauss|fft|laplace|forkjoin|intree|outtree|pipeline|montage|cholesky|lu)")
+		n      = flag.Int("n", 60, "task count (random) / points (fft) / tiles (montage)")
+		m      = flag.Int("m", 10, "matrix size (gauss) / grid (laplace) / tiles (cholesky, lu)")
+		shape  = flag.Float64("shape", 1.0, "shape α of random DAGs")
+		outdeg = flag.Int("outdeg", 4, "max out-degree of random DAGs")
+		br     = flag.Int("branches", 4, "branches (forkjoin) / fanout (trees)")
+		st     = flag.Int("stages", 3, "stages (forkjoin) / depth (trees)")
+		widths = flag.String("widths", "2,4,4,1", "stage widths (pipeline)")
+		daxIn  = flag.String("dax", "", "import a Pegasus DAX file instead of generating (-type ignored)")
+		scale  = flag.Float64("dax-scale", 1e-6, "file-size scale for DAX edge data (1e-6 = bytes to MB)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		out    = flag.String("o", "-", "output JSON file (- for stdout)")
+		dot    = flag.String("dot", "", "also write Graphviz DOT to this file")
+		stats  = flag.Bool("stats", false, "print structural statistics to stderr")
+	)
+	flag.Parse()
+
+	var g *dagsched.Graph
+	var err error
+	if *daxIn != "" {
+		f, ferr := os.Open(*daxIn)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		g, err = dagsched.ReadDAX(f, dagsched.DAXOptions{DataScale: *scale})
+		f.Close()
+	} else {
+		g, err = generate(*typ, *n, *m, *shape, *outdeg, *br, *st, *widths, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := g.WriteDOT(f); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "generated %s: %d tasks, %d edges, height %d\n",
+		g.Name(), g.Len(), g.NumEdges(), g.Height())
+	if *stats {
+		fmt.Fprintln(os.Stderr, g.ComputeStats())
+	}
+}
+
+func generate(typ string, n, m int, shape float64, outdeg, br, st int, widths string, seed int64) (*dagsched.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch typ {
+	case "random":
+		return dagsched.RandomDAG(dagsched.RandomDAGConfig{N: n, Shape: shape, OutDegree: outdeg}, rng)
+	case "gauss":
+		return dagsched.GaussianEliminationDAG(m)
+	case "fft":
+		return dagsched.FFTDAG(n)
+	case "laplace":
+		return dagsched.LaplaceDAG(m)
+	case "forkjoin":
+		return dagsched.ForkJoinDAG(br, st)
+	case "intree":
+		return dagsched.InTreeDAG(br, st)
+	case "outtree":
+		return dagsched.OutTreeDAG(br, st)
+	case "pipeline":
+		var ws []int
+		for _, p := range strings.Split(widths, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("bad widths %q: %v", widths, err)
+			}
+			ws = append(ws, v)
+		}
+		return dagsched.PipelineDAG(ws)
+	case "montage":
+		return dagsched.MontageDAG(n)
+	case "cholesky":
+		return dagsched.CholeskyDAG(m)
+	case "lu":
+		return dagsched.LUDAG(m)
+	default:
+		return nil, fmt.Errorf("unknown workload type %q", typ)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedgen:", err)
+	os.Exit(1)
+}

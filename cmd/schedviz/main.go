@@ -1,0 +1,104 @@
+// Command schedviz renders a task graph (DOT) or a schedule (SVG Gantt)
+// for visual inspection.
+//
+// Usage:
+//
+//	schedviz -graph g.json -dot g.dot                  # DAG structure
+//	schedviz -graph g.json -algo ILS -svg gantt.svg    # schedule Gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"dagsched"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "task graph JSON (required)")
+		dot       = flag.String("dot", "", "write the DAG as Graphviz DOT to this file")
+		svg       = flag.String("svg", "", "schedule the DAG and write an SVG Gantt to this file")
+		pngOut    = flag.String("png", "", "schedule the DAG and write a PNG Gantt to this file")
+		pngWidth  = flag.Int("png-width", 900, "PNG width in pixels")
+		algoName  = flag.String("algo", "ILS", "algorithm for -svg")
+		procs     = flag.Int("procs", 4, "processors for -svg")
+		ccr       = flag.Float64("ccr", 1.0, "CCR for -svg")
+		beta      = flag.Float64("beta", 1.0, "heterogeneity for -svg")
+		seed      = flag.Int64("seed", 1, "cost-matrix seed")
+	)
+	flag.Parse()
+	if *graphPath == "" {
+		fatal(fmt.Errorf("-graph is required"))
+	}
+	if *dot == "" && *svg == "" && *pngOut == "" {
+		fatal(fmt.Errorf("nothing to do: pass -dot, -svg and/or -png"))
+	}
+	f, err := os.Open(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	g, err := dagsched.ReadGraphJSON(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if *dot != "" {
+		out, err := os.Create(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.WriteDOT(out); err != nil {
+			fatal(err)
+		}
+		out.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *dot)
+	}
+	if *svg != "" || *pngOut != "" {
+		a, err := dagsched.AlgorithmByName(*algoName)
+		if err != nil {
+			fatal(err)
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: *procs, CCR: *ccr, Beta: *beta}, rng)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := a.Schedule(in)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			fatal(err)
+		}
+		if *svg != "" {
+			out, err := os.Create(*svg)
+			if err != nil {
+				fatal(err)
+			}
+			if err := dagsched.WriteGanttSVG(out, s); err != nil {
+				fatal(err)
+			}
+			out.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s (makespan %.4g)\n", *svg, s.Makespan())
+		}
+		if *pngOut != "" {
+			out, err := os.Create(*pngOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := dagsched.WriteGanttPNG(out, s, *pngWidth); err != nil {
+				fatal(err)
+			}
+			out.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s (makespan %.4g)\n", *pngOut, s.Makespan())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Package dagsched is a library for static task scheduling of directed
+// acyclic task graphs onto heterogeneous and homogeneous computing
+// systems.
+//
+// It reproduces the system of "Improving Static Task Scheduling in
+// Heterogeneous and Homogeneous Computing Systems" (ICPP 2007): an
+// improved insertion-based list scheduler (ILS) together with the
+// classic baselines it is evaluated against — HEFT, CPOP and DLS for
+// heterogeneous systems; MCP, ETF, HLFET and ISH for homogeneous ones;
+// the duplication heuristics DSH and BTDH; the clustering scheduler DSC;
+// and an exact branch-and-bound reference for small instances.
+//
+// The root package is a thin facade over the implementation packages: it
+// re-exports the task-graph builder, platform and instance constructors,
+// the algorithm registry, evaluation metrics, workload generators, an
+// event-driven schedule simulator and Gantt-chart rendering. The
+// examples/ directory shows complete programs; cmd/ holds the CLI tools;
+// the benchmarks in bench_test.go regenerate every experiment table of
+// EXPERIMENTS.md.
+//
+// Quick start:
+//
+//	b := dagsched.NewGraph("demo")
+//	a := b.AddTask("a", 2)
+//	c := b.AddTask("b", 3)
+//	b.AddEdge(a, c, 1)
+//	g, _ := b.Build()
+//	in := dagsched.ConsistentInstance(g, dagsched.HomogeneousSystem(2, 0, 1))
+//	s, _ := dagsched.ILS().Schedule(in)
+//	fmt.Println(s.Makespan())
+package dagsched

@@ -1,0 +1,62 @@
+// Capacity planning: how many machines does a workflow actually need?
+// Sweeps the processor count for a LIGO inspiral workflow, schedules with
+// ILS at each size, and reports makespan, speedup and efficiency so the
+// knee of the curve — the point where extra machines stop paying — is
+// visible. Also shows the effect of network contention on the chosen
+// configuration.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"dagsched"
+)
+
+func main() {
+	g, err := dagsched.LIGODAG(4, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s (%d tasks, %d edges, height %d)\n\n",
+		g.Name(), g.Len(), g.NumEdges(), g.Height())
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "procs\tmakespan\tspeedup\tefficiency\tcontended stretch")
+	var prevSpeedup float64
+	knee := 0
+	for _, p := range []int{1, 2, 4, 8, 12, 16, 24, 32} {
+		rng := rand.New(rand.NewSource(99))
+		in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{
+			Procs: p, CCR: 0.8, Beta: 0.5, Latency: 0.2,
+		}, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := dagsched.ILS().Schedule(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := dagsched.Simulate(s, dagsched.SimConfig{Contention: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := dagsched.Speedup(s)
+		fmt.Fprintf(tw, "%d\t%.4g\t%.2f\t%.2f\t%.3f\n",
+			p, s.Makespan(), sp, dagsched.Efficiency(s), rep.Stretch)
+		// Knee: first size where doubling-ish the machines gains < 15%.
+		if knee == 0 && prevSpeedup > 0 && sp/prevSpeedup < 1.15 {
+			knee = p
+		}
+		prevSpeedup = sp
+	}
+	tw.Flush()
+	if knee > 0 {
+		fmt.Printf("\ndiminishing returns set in around %d processors for this workflow.\n", knee)
+	}
+}

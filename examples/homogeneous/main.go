@@ -1,0 +1,73 @@
+// Homogeneous multiprocessor study: schedule an FFT butterfly DAG on an
+// identical-processor machine, comparing ILS against the classic
+// homogeneous heuristics (MCP, ETF, HLFET, ISH, DSH, BTDH, DSC) and the
+// exact branch-and-bound optimum on a downscaled instance.
+//
+//	go run ./examples/homogeneous
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"dagsched"
+	"dagsched/internal/algo/exact"
+)
+
+func main() {
+	g, err := dagsched.FFTDAG(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	// Beta 0 = identical processors: the homogeneous case of the paper.
+	in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: 4, CCR: 2, Beta: 0}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s on 4 identical processors, CCR 2\n\n", g.Name())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tmakespan\tNSL\tspeedup\tdups")
+	for _, a := range dagsched.HomogeneousLineup() {
+		res, err := dagsched.Evaluate(a, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.3f\t%.3f\t%d\n",
+			res.Algorithm, res.Makespan, res.SLR, res.Speedup, res.Duplicates)
+	}
+	tw.Flush()
+
+	// On a tiny FFT the branch-and-bound optimum is reachable: measure
+	// how far the heuristics are from it.
+	small, err := dagsched.FFTDAG(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(7))
+	tiny, err := dagsched.MakeInstance(small, dagsched.WorkloadConfig{Procs: 2, CCR: 1, Beta: 0}, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := dagsched.Optimal(tiny)
+	if err != nil && !errors.Is(err, exact.ErrBudget) {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n12-task FFT, 2 processors: optimum %.4g\n", opt.Makespan())
+	for _, name := range []string{"ILS", "MCP", "ETF", "HLFET"} {
+		a, err := dagsched.AlgorithmByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := a.Schedule(tiny)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s %.4g (%.1f%% above optimal)\n",
+			name, s.Makespan(), 100*(s.Makespan()/opt.Makespan()-1))
+	}
+}

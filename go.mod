@@ -1,0 +1,3 @@
+module dagsched
+
+go 1.22

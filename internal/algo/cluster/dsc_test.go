@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+	"dagsched/internal/sched"
+	"dagsched/internal/testfix"
+)
+
+func TestName(t *testing.T) {
+	if (DSC{}).Name() != "DSC" {
+		t.Fatal("bad name")
+	}
+}
+
+func TestChainCollapsesToOneCluster(t *testing.T) {
+	b := dag.NewBuilder("chain")
+	var prev dag.TaskID = -1
+	for i := 0; i < 6; i++ {
+		id := b.AddTask("", 2)
+		if prev >= 0 {
+			b.AddEdge(prev, id, 5)
+		}
+		prev = id
+	}
+	in := sched.Consistent(b.MustBuild(), platform.Homogeneous(3, 0, 1))
+	clusters := Clusters(in)
+	for i := 1; i < len(clusters); i++ {
+		if clusters[i] != clusters[0] {
+			t.Fatalf("chain split across clusters: %v", clusters)
+		}
+	}
+	s, err := DSC{}.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 12 {
+		t.Fatalf("chain makespan = %g, want 12", s.Makespan())
+	}
+}
+
+func TestIndependentTasksStaySeparate(t *testing.T) {
+	b := dag.NewBuilder("indep")
+	for i := 0; i < 4; i++ {
+		b.AddTask("", 3)
+	}
+	in := sched.Consistent(b.MustBuild(), platform.Homogeneous(4, 0, 1))
+	clusters := Clusters(in)
+	seen := map[int]bool{}
+	for _, c := range clusters {
+		if seen[c] {
+			t.Fatalf("independent tasks share a cluster: %v", clusters)
+		}
+		seen[c] = true
+	}
+	s, _ := DSC{}.Schedule(in)
+	if s.Makespan() != 3 {
+		t.Fatalf("makespan = %g, want 3 (all parallel)", s.Makespan())
+	}
+}
+
+func TestZeroCommKeepsParallelism(t *testing.T) {
+	// Fork-join with zero communication: clustering must not serialize
+	// the branches onto one cluster.
+	b := dag.NewBuilder("fj")
+	fork := b.AddTask("fork", 1)
+	j := make([]dag.TaskID, 4)
+	for i := range j {
+		j[i] = b.AddTask("", 10)
+		b.AddEdge(fork, j[i], 0)
+	}
+	join := b.AddTask("join", 1)
+	for _, v := range j {
+		b.AddEdge(v, join, 0)
+	}
+	in := sched.Consistent(b.MustBuild(), platform.Homogeneous(4, 0, 1))
+	s, err := DSC{}.Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zero comm: optimal is 1 + 10 + 1 = 12. DSC's merge phase must not
+	// serialize the branches: it has 4 processors for ≥ 4 clusters of
+	// work 10 each.
+	if s.Makespan() != 12 {
+		t.Fatalf("makespan = %g, want 12", s.Makespan())
+	}
+}
+
+func TestAssignmentsWithinProcRange(t *testing.T) {
+	testfix.Battery(testfix.BatteryConfig{Trials: 20, Seed: 303}, func(trial int, in *sched.Instance) {
+		assign := Assignments(in)
+		if len(assign) != in.N() {
+			t.Fatalf("trial %d: %d assignments for %d tasks", trial, len(assign), in.N())
+		}
+		for v, p := range assign {
+			if p < 0 || p >= in.P() {
+				t.Fatalf("trial %d: task %d assigned to P%d of %d", trial, v, p, in.P())
+			}
+		}
+	})
+}
+
+func TestValidOnBattery(t *testing.T) {
+	testfix.Battery(testfix.BatteryConfig{Trials: 30, Seed: 404}, func(trial int, in *sched.Instance) {
+		s, err := DSC{}.Schedule(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	})
+}
+
+func TestValidOnAppGraphs(t *testing.T) {
+	for _, in := range testfix.AppGraphs(3, 77) {
+		s, err := DSC{}.Schedule(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.G.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.G.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package contention
+
+import (
+	"testing"
+
+	"dagsched/internal/algo/listsched"
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+	"dagsched/internal/sched"
+	"dagsched/internal/sim"
+	"dagsched/internal/testfix"
+)
+
+func TestSpanListEarliestFrom(t *testing.T) {
+	sp := spanList{{2, 4}, {6, 9}}
+	cases := []struct {
+		t, dur, want float64
+	}{
+		{0, 1, 0},   // fits before the first span
+		{0, 2, 0},   // exact fit before the first span
+		{0, 3, 9},   // too long for any gap: after the last span
+		{3, 1, 4},   // inside a busy span: bumped to its end
+		{4, 2, 4},   // gap [4,6) exact fit
+		{5, 2, 9},   // gap too small from 5
+		{10, 5, 10}, // after everything
+	}
+	for _, c := range cases {
+		if got := sp.earliestFrom(c.t, c.dur); got != c.want {
+			t.Errorf("earliestFrom(%g,%g) = %g, want %g", c.t, c.dur, got, c.want)
+		}
+	}
+}
+
+func TestSpanListInsertOrderAndOverlapPanic(t *testing.T) {
+	var sp spanList
+	sp.insert(5, 7)
+	sp.insert(0, 2)
+	sp.insert(9, 10)
+	if sp[0].s != 0 || sp[1].s != 5 || sp[2].s != 9 {
+		t.Fatalf("not sorted: %v", sp)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping insert did not panic")
+		}
+	}()
+	sp.insert(6, 8)
+}
+
+func TestTransferStartAlternation(t *testing.T) {
+	nw := newNetwork(2)
+	// Sender busy [0,5), receiver busy [5,8).
+	nw.send[0].insert(0, 5)
+	nw.recv[1].insert(5, 8)
+	// A 2-unit transfer ready at 0 must wait for 8 (send free at 5, but
+	// recv blocks [5,8)).
+	if got := nw.transferStart(0, 1, 0, 2); got != 8 {
+		t.Fatalf("transferStart = %g, want 8", got)
+	}
+	// A 2-unit transfer into an un-busy receiver: fits nothing on send
+	// before 5.
+	if got := nw.transferStart(0, 0, 0, 2); got != 5 {
+		t.Fatalf("transferStart same ports = %g, want 5", got)
+	}
+}
+
+func TestCHEFTValidOnBattery(t *testing.T) {
+	testfix.Battery(testfix.BatteryConfig{Trials: 30, Seed: 7001}, func(trial int, in *sched.Instance) {
+		s, err := CHEFT{}.Schedule(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Makespan() < in.CPMin()-1e-6 {
+			t.Fatalf("trial %d: below CP bound", trial)
+		}
+	})
+}
+
+func TestCHEFTValidOnAppGraphs(t *testing.T) {
+	for _, in := range testfix.AppGraphs(4, 7002) {
+		s, err := CHEFT{}.Schedule(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.G.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", in.G.Name(), err)
+		}
+	}
+}
+
+// The point of the algorithm: under the one-port replay, C-HEFT schedules
+// must degrade much less than HEFT schedules on communication-heavy
+// instances.
+func TestCHEFTRobustToContention(t *testing.T) {
+	var heftStretch, cheftStretch float64
+	trials := 0
+	testfix.Battery(testfix.BatteryConfig{Trials: 20, MaxCCR: 8, Seed: 7003}, func(trial int, in *sched.Instance) {
+		h, err := listsched.HEFT{}.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := CHEFT{}.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := sim.Run(h, sim.Config{Contention: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := sim.Run(c, sim.Config{Contention: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heftStretch += hr.Stretch
+		cheftStretch += cr.Stretch
+		trials++
+	})
+	if cheftStretch >= heftStretch {
+		t.Fatalf("C-HEFT mean contention stretch %.3f not below HEFT's %.3f",
+			cheftStretch/float64(trials), heftStretch/float64(trials))
+	}
+	t.Logf("mean one-port stretch: C-HEFT %.3f vs HEFT %.3f",
+		cheftStretch/float64(trials), heftStretch/float64(trials))
+}
+
+// Contended ABSOLUTE makespan must also be no worse on average —
+// otherwise low stretch would just mean pessimistic scheduling.
+func TestCHEFTContendedMakespanCompetitive(t *testing.T) {
+	var heftMS, cheftMS float64
+	testfix.Battery(testfix.BatteryConfig{Trials: 20, MaxCCR: 8, Seed: 7004}, func(trial int, in *sched.Instance) {
+		h, _ := listsched.HEFT{}.Schedule(in)
+		c, _ := CHEFT{}.Schedule(in)
+		hr, err := sim.Run(h, sim.Config{Contention: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := sim.Run(c, sim.Config{Contention: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		heftMS += hr.Makespan
+		cheftMS += cr.Makespan
+	})
+	if cheftMS > heftMS*1.05 {
+		t.Fatalf("C-HEFT contended makespan total %.4g much worse than HEFT %.4g", cheftMS, heftMS)
+	}
+}
+
+func TestCHEFTOnLocalChainReservesNothing(t *testing.T) {
+	b := dag.NewBuilder("chain")
+	var prev dag.TaskID = -1
+	for i := 0; i < 5; i++ {
+		id := b.AddTask("", 2)
+		if prev >= 0 {
+			b.AddEdge(prev, id, 10)
+		}
+		prev = id
+	}
+	in := sched.Consistent(b.MustBuild(), platform.Homogeneous(3, 0, 1))
+	send, err := PortSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, v := range send {
+		if v != 0 {
+			t.Fatalf("send port %d busy %g on a chain kept local", p, v)
+		}
+	}
+	s, _ := CHEFT{}.Schedule(in)
+	if s.Makespan() != 10 {
+		t.Fatalf("chain makespan = %g, want 10", s.Makespan())
+	}
+}
+
+func TestCHEFTDeterministic(t *testing.T) {
+	in := testfix.Topcuoglu()
+	s1, _ := CHEFT{}.Schedule(in)
+	s2, _ := CHEFT{}.Schedule(in)
+	if s1.Makespan() != s2.Makespan() {
+		t.Fatal("not deterministic")
+	}
+}

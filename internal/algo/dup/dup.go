@@ -1,0 +1,116 @@
+// Package dup implements the duplication-based scheduling heuristics DSH
+// (Kruatrachue & Lewis, 1988) and BTDH (bottom-up top-down duplication,
+// the earlier heuristic of this paper's own authors): list schedulers that
+// copy critical parents into idle slots so a task can start earlier at the
+// cost of redundant computation.
+package dup
+
+import (
+	"math"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// maxDups bounds duplicate copies accepted per task placement; each
+// accepted duplicate makes one more parent local, so the bound is only a
+// safety net against pathological graphs.
+const maxDups = 64
+
+// DSH is the Duplication Scheduling Heuristic: ready tasks in decreasing
+// static level; for every candidate processor the start time is improved
+// by greedily duplicating the critical parent into the idle slot in front
+// of the task, keeping a duplicate only when the start time strictly
+// improves; the processor with the smallest resulting finish time wins.
+type DSH struct{}
+
+// Name implements algo.Algorithm.
+func (DSH) Name() string { return "DSH" }
+
+// Schedule implements algo.Algorithm.
+func (DSH) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	return duplicationSchedule(in, "DSH", func(pl *sched.Plan, t dag.TaskID, p int) algo.DupResult {
+		return algo.TryDuplication(pl, t, p, maxDups)
+	})
+}
+
+// BTDH extends DSH: it keeps duplicating remote parents even when an
+// individual duplication does not immediately improve the start time, and
+// finally keeps the best configuration encountered. This recovers cases
+// where only a *combination* of duplicated parents pays off. Duplication
+// is limited to direct parents, matching DSH's search space.
+type BTDH struct{}
+
+// Name implements algo.Algorithm.
+func (BTDH) Name() string { return "BTDH" }
+
+// Schedule implements algo.Algorithm.
+func (BTDH) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	return duplicationSchedule(in, "BTDH", tryDuplicationBTDH)
+}
+
+// duplicationSchedule is the shared driver: static-level ready list, trial
+// per processor, commit of the winning trial plan.
+func duplicationSchedule(in *sched.Instance, name string, try func(*sched.Plan, dag.TaskID, int) algo.DupResult) (*sched.Schedule, error) {
+	sl := sched.StaticLevel(in)
+	pl := sched.NewPlan(in)
+	rl := algo.NewReadyList(in.G)
+	for !rl.Empty() {
+		var pick dag.TaskID = -1
+		for _, r := range rl.Ready() {
+			if pick == -1 || sl[r] > sl[pick] {
+				pick = r
+			}
+		}
+		bestFinish := math.Inf(1)
+		var best algo.DupResult
+		bestProc := -1
+		for p := 0; p < in.P(); p++ {
+			res := try(pl, pick, p)
+			if res.Finish < bestFinish {
+				bestFinish, best, bestProc = res.Finish, res, p
+			}
+		}
+		pl = best.Plan
+		pl.Place(pick, bestProc, best.Start)
+		rl.Complete(pick)
+	}
+	return pl.Finalize(name), nil
+}
+
+// tryDuplicationBTDH duplicates the chain of remote critical parents
+// unconditionally, remembering the best start time seen, and returns the
+// best snapshot. Termination: every accepted duplicate makes one more
+// parent local on p and local parents are never candidates again.
+func tryDuplicationBTDH(pl *sched.Plan, t dag.TaskID, p int) algo.DupResult {
+	in := pl.Instance()
+	dur := in.Cost(t, p)
+
+	work := pl.Clone()
+	start := work.FindSlot(p, work.DataReady(t, p), dur, true)
+	best := algo.DupResult{Plan: work.Clone(), Start: start, Finish: start + dur}
+
+	dups := 0
+	for dups < maxDups {
+		parent, arrival := algo.CriticalParent(work, t, p)
+		if parent == -1 {
+			break
+		}
+		// Unlike DSH, duplicate even when the parent is not strictly
+		// binding (arrival < start): the chain may pay off later. Skip
+		// only when data already arrives at time zero.
+		if arrival <= 0 {
+			break
+		}
+		pready := work.DataReady(parent, p)
+		pslot := work.FindSlot(p, pready, in.Cost(parent, p), true)
+		work.PlaceDup(parent, p, pslot)
+		dups++
+		start = work.FindSlot(p, work.DataReady(t, p), dur, true)
+		if start < best.Start {
+			best = algo.DupResult{Plan: work.Clone(), Start: start, Finish: start + dur, Dups: dups}
+		}
+	}
+	return best
+}

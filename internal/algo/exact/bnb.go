@@ -1,0 +1,279 @@
+// Package exact implements an optimal branch-and-bound scheduler for
+// small instances. It enumerates (ready-task, processor) decisions depth-
+// first with critical-path pruning and processor-symmetry breaking; every
+// optimal makespan is reachable because any schedule can be normalized to
+// a greedy timing of some linear extension of the DAG. It is the
+// optimality reference for tests and the optimality-gap experiment (E12).
+package exact
+
+import (
+	"errors"
+	"math"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// DefaultNodeBudget bounds the number of search-tree nodes explored.
+const DefaultNodeBudget = 5_000_000
+
+// ErrBudget reports that the search budget was exhausted before
+// optimality could be proven; the returned schedule is the best found.
+var ErrBudget = errors.New("exact: node budget exhausted, result not proven optimal")
+
+// BnB is the branch-and-bound optimal scheduler.
+type BnB struct {
+	// NodeBudget bounds explored search nodes (DefaultNodeBudget if 0).
+	NodeBudget int
+}
+
+// Name implements algo.Algorithm.
+func (BnB) Name() string { return "OPT" }
+
+// Schedule implements algo.Algorithm. It returns ErrBudget alongside the
+// best schedule found when the search budget is exhausted.
+func (b BnB) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	budget := b.NodeBudget
+	if budget <= 0 {
+		budget = DefaultNodeBudget
+	}
+	s := &search{
+		in:       in,
+		budget:   budget,
+		minBL:    minBottomLevels(in),
+		bestMS:   math.Inf(1),
+		proc:     make([]int, in.N()),
+		start:    make([]float64, in.N()),
+		placed:   make([]bool, in.N()),
+		procEnd:  make([]float64, in.P()),
+		pending:  make([]int, in.N()),
+		symmetry: fullySymmetric(in),
+	}
+	for i := 0; i < in.N(); i++ {
+		s.pending[i] = in.G.InDegree(dag.TaskID(i))
+	}
+	// Seed the incumbent with a greedy EFT schedule so pruning bites
+	// immediately.
+	greedy := greedySchedule(in)
+	s.adopt(greedy)
+	s.dfs(0, 0, 0)
+
+	pl := sched.NewPlan(in)
+	for _, v := range in.G.TopoOrder() {
+		pl.Place(v, s.bestProc[v], s.bestStart[v])
+	}
+	sch := pl.Finalize("OPT")
+	if s.exhausted {
+		return sch, ErrBudget
+	}
+	return sch, nil
+}
+
+// Makespan returns just the optimal makespan and whether it was proven.
+func (b BnB) Makespan(in *sched.Instance) (float64, bool, error) {
+	sch, err := b.Schedule(in)
+	if errors.Is(err, ErrBudget) {
+		return sch.Makespan(), false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	return sch.Makespan(), true, nil
+}
+
+type search struct {
+	in     *sched.Instance
+	budget int
+	nodes  int
+	minBL  []float64
+
+	proc    []int
+	start   []float64
+	placed  []bool
+	procEnd []float64
+	pending []int
+
+	bestMS    float64
+	bestProc  []int
+	bestStart []float64
+
+	symmetry  bool
+	exhausted bool
+}
+
+// adopt installs a complete schedule as the incumbent.
+func (s *search) adopt(sch *sched.Schedule) {
+	if sch.Makespan() >= s.bestMS {
+		return
+	}
+	s.bestMS = sch.Makespan()
+	if s.bestProc == nil {
+		s.bestProc = make([]int, s.in.N())
+		s.bestStart = make([]float64, s.in.N())
+	}
+	for i := 0; i < s.in.N(); i++ {
+		a := sch.Primary(dag.TaskID(i))
+		s.bestProc[i] = a.Proc
+		s.bestStart[i] = a.Start
+	}
+}
+
+func (s *search) snapshot(makespan float64) {
+	if makespan >= s.bestMS {
+		return
+	}
+	s.bestMS = makespan
+	copy(s.bestProc, s.proc)
+	copy(s.bestStart, s.start)
+}
+
+// dfs branches on every (ready task, processor) pair. depth counts placed
+// tasks; curMS is the makespan so far; usedProcs is the number of
+// processors already carrying at least one task (symmetry breaking).
+func (s *search) dfs(depth int, curMS float64, usedProcs int) {
+	if s.exhausted {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.budget {
+		s.exhausted = true
+		return
+	}
+	in := s.in
+	n := in.N()
+	if depth == n {
+		s.snapshot(curMS)
+		return
+	}
+	if s.lowerBound(curMS) >= s.bestMS-1e-12 {
+		return
+	}
+	for v := 0; v < n; v++ {
+		if s.placed[v] || s.pending[v] != 0 {
+			continue
+		}
+		t := dag.TaskID(v)
+		// On fully symmetric systems, trying more than one empty
+		// processor only permutes labels.
+		procLimit := in.P()
+		if s.symmetry && usedProcs < in.P() {
+			procLimit = usedProcs + 1
+		}
+		for p := 0; p < procLimit; p++ {
+			ready := 0.0
+			for _, pe := range in.G.Pred(t) {
+				arr := s.start[pe.To] + in.Cost(pe.To, s.proc[pe.To]) + in.Comm(pe.To, t, s.proc[pe.To], p)
+				if arr > ready {
+					ready = arr
+				}
+			}
+			st := math.Max(ready, s.procEnd[p])
+			fin := st + in.Cost(t, p)
+			mc, _ := in.MinCost(t)
+			if fin+(s.minBL[v]-mc) >= s.bestMS-1e-12 {
+				// The path below v alone already matches the incumbent.
+				continue
+			}
+			prevEnd := s.procEnd[p]
+			s.proc[v], s.start[v], s.placed[v], s.procEnd[p] = p, st, true, fin
+			for _, a := range in.G.Succ(t) {
+				s.pending[a.To]--
+			}
+			nu := usedProcs
+			if s.symmetry && p == usedProcs {
+				// Symmetric processors fill in label order, so p equal to
+				// usedProcs means a previously-empty processor was opened.
+				nu = usedProcs + 1
+			}
+			s.dfs(depth+1, math.Max(curMS, fin), nu)
+			for _, a := range in.G.Succ(t) {
+				s.pending[a.To]++
+			}
+			s.placed[v], s.procEnd[p] = false, prevEnd
+		}
+	}
+}
+
+// lowerBound returns a valid lower bound on any completion of the current
+// partial schedule: for every unscheduled task, the earliest it could
+// possibly start (data from scheduled predecessors, zero communication)
+// plus its minimum-cost bottom level.
+func (s *search) lowerBound(curMS float64) float64 {
+	in := s.in
+	lb := curMS
+	for v := 0; v < in.N(); v++ {
+		if s.placed[v] {
+			continue
+		}
+		est := 0.0
+		for _, pe := range in.G.Pred(dag.TaskID(v)) {
+			if s.placed[pe.To] {
+				if f := s.start[pe.To] + in.Cost(pe.To, s.proc[pe.To]); f > est {
+					est = f
+				}
+			}
+		}
+		if b := est + s.minBL[v]; b > lb {
+			lb = b
+		}
+	}
+	return lb
+}
+
+// minBottomLevels computes, per task, the longest path to an exit summing
+// minimum execution costs and ignoring communication — a valid lower bound
+// on the remaining time once the task starts.
+func minBottomLevels(in *sched.Instance) []float64 {
+	bl := make([]float64, in.N())
+	for _, v := range in.G.ReverseTopoOrder() {
+		best := 0.0
+		for _, a := range in.G.Succ(v) {
+			if bl[a.To] > best {
+				best = bl[a.To]
+			}
+		}
+		mc, _ := in.MinCost(v)
+		bl[v] = mc + best
+	}
+	return bl
+}
+
+// fullySymmetric reports whether all processors are interchangeable: every
+// task costs the same everywhere and all links are uniform.
+func fullySymmetric(in *sched.Instance) bool {
+	for i := 0; i < in.N(); i++ {
+		for p := 1; p < in.P(); p++ {
+			if in.W[i][p] != in.W[i][0] {
+				return false
+			}
+		}
+	}
+	// Uniform links: compare the unit-data cost of every pair.
+	if in.P() < 2 {
+		return true
+	}
+	ref := in.Sys.CommCost(0, 1, 1)
+	ref0 := in.Sys.CommCost(0, 1, 0)
+	for p := 0; p < in.P(); p++ {
+		for q := 0; q < in.P(); q++ {
+			if p == q {
+				continue
+			}
+			if in.Sys.CommCost(p, q, 1) != ref || in.Sys.CommCost(p, q, 0) != ref0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// greedySchedule seeds the incumbent with insertion-based EFT scheduling
+// in topological order.
+func greedySchedule(in *sched.Instance) *sched.Schedule {
+	pl := sched.NewPlan(in)
+	for _, v := range in.G.TopoOrder() {
+		p, st, _ := pl.BestEFT(v, true)
+		pl.Place(v, p, st)
+	}
+	return pl.Finalize("greedy-seed")
+}

@@ -1,0 +1,66 @@
+package listsched
+
+import (
+	"math"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// CPOP is the Critical-Path-On-a-Processor algorithm of Topcuoglu et al.:
+// task priority is rank_u + rank_d; every critical-path task is pinned to
+// the single processor that minimizes the critical path's total execution
+// cost, all other tasks use insertion-based best EFT; tasks are consumed
+// from a ready queue in priority order.
+type CPOP struct{}
+
+// Name implements algo.Algorithm.
+func (CPOP) Name() string { return "CPOP" }
+
+// Schedule implements algo.Algorithm.
+func (CPOP) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	up := sched.RankUpward(in)
+	down := sched.RankDownward(in)
+	prio := make([]float64, in.N())
+	for i := range prio {
+		prio[i] = up[i] + down[i]
+	}
+	cpPath, _ := sched.CriticalPathMean(in)
+	onCP := make([]bool, in.N())
+	for _, v := range cpPath {
+		onCP[v] = true
+	}
+	// The critical-path processor minimizes the CP's total execution cost.
+	cpProc, bestCost := 0, math.Inf(1)
+	for p := 0; p < in.P(); p++ {
+		var sum float64
+		for _, v := range cpPath {
+			sum += in.Cost(v, p)
+		}
+		if sum < bestCost {
+			cpProc, bestCost = p, sum
+		}
+	}
+
+	pl := sched.NewPlan(in)
+	rl := algo.NewReadyList(in.G)
+	for !rl.Empty() {
+		// Highest-priority ready task; ascending-id ready list breaks ties.
+		var pick dag.TaskID = -1
+		for _, r := range rl.Ready() {
+			if pick == -1 || prio[r] > prio[pick] {
+				pick = r
+			}
+		}
+		if onCP[pick] {
+			s, _ := pl.EFTOn(pick, cpProc, true)
+			pl.Place(pick, cpProc, s)
+		} else {
+			p, s, _ := pl.BestEFT(pick, true)
+			pl.Place(pick, p, s)
+		}
+		rl.Complete(pick)
+	}
+	return pl.Finalize("CPOP"), nil
+}

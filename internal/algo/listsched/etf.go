@@ -1,0 +1,44 @@
+package listsched
+
+import (
+	"math"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// ETF is the Earliest Time First algorithm of Hwang, Chow, Anger and Lee
+// (SIAM J. Comput. 1989): at each step, among all ready tasks and all
+// processors, schedule the pair with the smallest earliest start time,
+// breaking ties by the higher static level. Non-insertion, per the
+// original definition.
+type ETF struct{}
+
+// Name implements algo.Algorithm.
+func (ETF) Name() string { return "ETF" }
+
+// Schedule implements algo.Algorithm.
+func (ETF) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	sl := sched.StaticLevel(in)
+	pl := sched.NewPlan(in)
+	rl := algo.NewReadyList(in.G)
+	for !rl.Empty() {
+		bestStart := math.Inf(1)
+		var bestTask dag.TaskID = -1
+		bestProc := 0
+		for _, t := range rl.Ready() {
+			for p := 0; p < in.P(); p++ {
+				start, _ := pl.EFTOn(t, p, false)
+				better := start < bestStart ||
+					(start == bestStart && bestTask != -1 && sl[t] > sl[bestTask])
+				if better {
+					bestStart, bestTask, bestProc = start, t, p
+				}
+			}
+		}
+		pl.Place(bestTask, bestProc, bestStart)
+		rl.Complete(bestTask)
+	}
+	return pl.Finalize("ETF"), nil
+}

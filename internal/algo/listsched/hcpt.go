@@ -1,0 +1,102 @@
+package listsched
+
+import (
+	"sort"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// HCPT is the Heterogeneous Critical Parent Trees algorithm of Hagras and
+// Janeček (2003). Listing phase: tasks whose mean-cost average earliest
+// start time (AEST) equals their average latest start time (ALST) form
+// the critical path; critical tasks are visited in ascending ALST and,
+// before each is listed, its unlisted parent tree is emitted bottom-up
+// (parents in ascending ALST). Machine assignment: insertion-based EFT,
+// as in HEFT.
+type HCPT struct{}
+
+// Name implements algo.Algorithm.
+func (HCPT) Name() string { return "HCPT" }
+
+// Schedule implements algo.Algorithm.
+func (HCPT) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	const eps = 1e-9
+	// AEST = downward rank (mean costs); ALST = CP − (upward rank), i.e.
+	// the latest mean-cost start preserving the critical-path length.
+	aest := sched.RankDownward(in)
+	up := sched.RankUpward(in)
+	cp := 0.0
+	for i := range up {
+		if up[i]+aest[i] > cp {
+			cp = up[i] + aest[i]
+		}
+	}
+	alst := make([]float64, in.N())
+	for i := range alst {
+		alst[i] = cp - up[i]
+	}
+
+	// Critical tasks in ascending ALST.
+	var critical []dag.TaskID
+	for i := 0; i < in.N(); i++ {
+		if alst[i]-aest[i] < eps {
+			critical = append(critical, dag.TaskID(i))
+		}
+	}
+	sort.SliceStable(critical, func(a, b int) bool {
+		if alst[critical[a]] != alst[critical[b]] {
+			return alst[critical[a]] < alst[critical[b]]
+		}
+		return critical[a] < critical[b]
+	})
+
+	listed := make([]bool, in.N())
+	var list []dag.TaskID
+	// emit lists t's unlisted ancestors (smaller ALST first) then t.
+	var emit func(t dag.TaskID)
+	emit = func(t dag.TaskID) {
+		if listed[t] {
+			return
+		}
+		parents := append([]dag.Adj(nil), in.G.Pred(t)...)
+		sort.SliceStable(parents, func(a, b int) bool {
+			if alst[parents[a].To] != alst[parents[b].To] {
+				return alst[parents[a].To] < alst[parents[b].To]
+			}
+			return parents[a].To < parents[b].To
+		})
+		for _, p := range parents {
+			emit(p.To)
+		}
+		listed[t] = true
+		list = append(list, t)
+	}
+	for _, c := range critical {
+		emit(c)
+	}
+	// Any task unreachable from the critical path's ancestor trees (e.g.
+	// side branches feeding nothing critical) is appended in ALST order.
+	var rest []dag.TaskID
+	for i := 0; i < in.N(); i++ {
+		if !listed[i] {
+			rest = append(rest, dag.TaskID(i))
+		}
+	}
+	sort.SliceStable(rest, func(a, b int) bool {
+		if alst[rest[a]] != alst[rest[b]] {
+			return alst[rest[a]] < alst[rest[b]]
+		}
+		return rest[a] < rest[b]
+	})
+	for _, t := range rest {
+		emit(t)
+	}
+
+	pl := sched.NewPlan(in)
+	for _, t := range list {
+		p, s, _ := pl.BestEFT(t, true)
+		pl.Place(t, p, s)
+	}
+	return pl.Finalize("HCPT"), nil
+}

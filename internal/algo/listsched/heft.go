@@ -1,0 +1,32 @@
+// Package listsched implements the classic list-scheduling baselines of
+// the static-scheduling literature: HEFT, CPOP and DLS for heterogeneous
+// systems, and MCP, ETF, HLFET and ISH, which originate in the homogeneous
+// literature but are implemented here against the general heterogeneous
+// cost model (on a homogeneous system they reduce to their original
+// definitions).
+package listsched
+
+import (
+	"dagsched/internal/algo"
+	"dagsched/internal/sched"
+)
+
+// HEFT is the Heterogeneous Earliest Finish Time algorithm of Topcuoglu,
+// Hariri and Wu (TPDS 2002): tasks ordered by decreasing upward rank, each
+// placed on the processor minimizing its insertion-based earliest finish
+// time.
+type HEFT struct{}
+
+// Name implements algo.Algorithm.
+func (HEFT) Name() string { return "HEFT" }
+
+// Schedule implements algo.Algorithm.
+func (HEFT) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	order := algo.OrderDescPrecedence(in.G, sched.RankUpward(in))
+	pl := sched.NewPlan(in)
+	for _, t := range order {
+		p, s, _ := pl.BestEFT(t, true)
+		pl.Place(t, p, s)
+	}
+	return pl.Finalize("HEFT"), nil
+}

@@ -1,0 +1,41 @@
+package listsched
+
+import (
+	"dagsched/internal/algo"
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// HLFET is Highest Level First with Estimated Times (Adam, Chandy, Dickson
+// 1974), the archetypal list scheduler: ready tasks are consumed in
+// decreasing static level and placed on the processor giving the earliest
+// start time, without insertion.
+type HLFET struct{}
+
+// Name implements algo.Algorithm.
+func (HLFET) Name() string { return "HLFET" }
+
+// Schedule implements algo.Algorithm.
+func (HLFET) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	sl := sched.StaticLevel(in)
+	pl := sched.NewPlan(in)
+	rl := algo.NewReadyList(in.G)
+	for !rl.Empty() {
+		var pick dag.TaskID = -1
+		for _, r := range rl.Ready() {
+			if pick == -1 || sl[r] > sl[pick] {
+				pick = r
+			}
+		}
+		bestP, bestS := -1, 0.0
+		for p := 0; p < in.P(); p++ {
+			s, _ := pl.EFTOn(pick, p, false)
+			if bestP == -1 || s < bestS {
+				bestP, bestS = p, s
+			}
+		}
+		pl.Place(pick, bestP, bestS)
+		rl.Complete(pick)
+	}
+	return pl.Finalize("HLFET"), nil
+}

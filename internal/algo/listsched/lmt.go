@@ -1,0 +1,51 @@
+package listsched
+
+import (
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// LMT is the Levelized Min Time algorithm of Iverson, Özgüner and Follen:
+// tasks are partitioned into precedence levels; within each level
+// (mutually independent tasks) the tasks are considered in decreasing
+// mean cost and each is assigned to the processor minimizing its finish
+// time given the partial schedule — a min-time pass per level.
+type LMT struct{}
+
+// Name implements algo.Algorithm.
+func (LMT) Name() string { return "LMT" }
+
+// Schedule implements algo.Algorithm.
+func (LMT) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	levels := in.G.Levels()
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	byLevel := make([][]dag.TaskID, maxLevel+1)
+	for i := 0; i < in.N(); i++ {
+		byLevel[levels[i]] = append(byLevel[levels[i]], dag.TaskID(i))
+	}
+	pl := sched.NewPlan(in)
+	for _, level := range byLevel {
+		order := append([]dag.TaskID(nil), level...)
+		// Decreasing mean cost, ids break ties.
+		for i := 1; i < len(order); i++ {
+			v := order[i]
+			j := i - 1
+			for j >= 0 && (in.MeanCost(order[j]) < in.MeanCost(v) ||
+				(in.MeanCost(order[j]) == in.MeanCost(v) && order[j] > v)) {
+				order[j+1] = order[j]
+				j--
+			}
+			order[j+1] = v
+		}
+		for _, t := range order {
+			p, s, _ := pl.BestEFT(t, true)
+			pl.Place(t, p, s)
+		}
+	}
+	return pl.Finalize("LMT"), nil
+}

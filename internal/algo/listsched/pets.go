@@ -1,0 +1,72 @@
+package listsched
+
+import (
+	"math"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// PETS is the Performance Effective Task Scheduling algorithm of
+// Ilavarasan and Thambidurai (2007, contemporaneous with this paper):
+// tasks are grouped into topological levels; within a level the priority
+// is rank(t) = ACC(t) + DTC(t) + RPT(t), where ACC is the mean
+// computation cost, DTC the total data-transfer cost to all children
+// (mean over processor pairs) and RPT the highest rank among the task's
+// parents; levels are scheduled in order, each task on its insertion-EFT
+// processor.
+type PETS struct{}
+
+// Name implements algo.Algorithm.
+func (PETS) Name() string { return "PETS" }
+
+// Schedule implements algo.Algorithm.
+func (PETS) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	levels := in.G.Levels()
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	// rank = ACC + DTC + RPT, computed in topological order (parents
+	// before children).
+	rank := make([]float64, in.N())
+	for _, v := range in.G.TopoOrder() {
+		acc := in.MeanCost(v)
+		dtc := 0.0
+		for _, a := range in.G.Succ(v) {
+			dtc += in.MeanCommData(a.Data)
+		}
+		rpt := 0.0
+		for _, p := range in.G.Pred(v) {
+			if rank[p.To] > rpt {
+				rpt = rank[p.To]
+			}
+		}
+		rank[v] = math.Round(acc + dtc + rpt)
+	}
+	byLevel := make([][]dag.TaskID, maxLevel+1)
+	for i := 0; i < in.N(); i++ {
+		byLevel[levels[i]] = append(byLevel[levels[i]], dag.TaskID(i))
+	}
+	pl := sched.NewPlan(in)
+	for _, level := range byLevel {
+		order := append([]dag.TaskID(nil), level...)
+		// Decreasing rank within the level; ids break ties.
+		for i := 1; i < len(order); i++ {
+			v := order[i]
+			j := i - 1
+			for j >= 0 && (rank[order[j]] < rank[v] || (rank[order[j]] == rank[v] && order[j] > v)) {
+				order[j+1] = order[j]
+				j--
+			}
+			order[j+1] = v
+		}
+		for _, t := range order {
+			p, s, _ := pl.BestEFT(t, true)
+			pl.Place(t, p, s)
+		}
+	}
+	return pl.Finalize("PETS"), nil
+}

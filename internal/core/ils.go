@@ -1,0 +1,183 @@
+// Package core implements ILS (Improved List Scheduling), this
+// repository's reconstruction of the paper's contribution: an insertion-
+// based list scheduler for heterogeneous and homogeneous systems that
+// improves on HEFT through three orthogonal, individually ablatable
+// mechanisms:
+//
+//  1. σ-augmented upward rank — tasks whose execution cost varies strongly
+//     across processors are prioritized, fixing volatile placement
+//     decisions earlier (reduces to HEFT's rank on homogeneous systems);
+//  2. one-step critical-child lookahead — processor selection minimizes
+//     the estimated earliest finish time of the task's most critical
+//     successor rather than of the task alone;
+//  3. critical-parent duplication — the parent that dominates a task's
+//     start time is copied into an idle slot of the candidate processor
+//     when that strictly lowers the task's finish time.
+//
+// The full configuration is exported as ILS; ILS-L (no duplication),
+// ILS-D (no lookahead) and ILS-R (σ-rank only) are the ablation variants
+// used by experiment E11.
+package core
+
+import (
+	"math"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// Options selects the ILS mechanisms; the zero value (everything off)
+// degenerates to plain HEFT.
+type Options struct {
+	// SigmaRank orders tasks by the σ-augmented upward rank instead of the
+	// plain mean-cost upward rank.
+	SigmaRank bool
+	// Lookahead selects processors by the estimated EFT of the task's most
+	// critical child instead of the task's own EFT.
+	Lookahead bool
+	// Duplication enables critical-parent duplication into idle slots.
+	Duplication bool
+	// MaxDups bounds accepted duplicates per placement (default 8).
+	MaxDups int
+}
+
+// ILS is the improved list scheduler.
+type ILS struct {
+	name string
+	opts Options
+}
+
+// New returns the full ILS configuration (σ-rank + lookahead +
+// duplication).
+func New() ILS {
+	return ILS{name: "ILS", opts: Options{SigmaRank: true, Lookahead: true, Duplication: true}}
+}
+
+// NoDuplication returns ILS-L: σ-rank and lookahead without duplication.
+func NoDuplication() ILS {
+	return ILS{name: "ILS-L", opts: Options{SigmaRank: true, Lookahead: true}}
+}
+
+// NoLookahead returns ILS-D: σ-rank and duplication without lookahead.
+func NoLookahead() ILS {
+	return ILS{name: "ILS-D", opts: Options{SigmaRank: true, Duplication: true}}
+}
+
+// RankOnly returns ILS-R: only the σ-augmented rank (HEFT otherwise).
+func RankOnly() ILS {
+	return ILS{name: "ILS-R", opts: Options{SigmaRank: true}}
+}
+
+// Variant returns an ILS with explicit options, for ablation sweeps.
+func Variant(name string, opts Options) ILS { return ILS{name: name, opts: opts} }
+
+// Name implements algo.Algorithm.
+func (a ILS) Name() string { return a.name }
+
+// Options returns the configuration (for ablation reporting).
+func (a ILS) Options() Options { return a.opts }
+
+// Schedule implements algo.Algorithm.
+func (a ILS) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	maxDups := a.opts.MaxDups
+	if maxDups <= 0 {
+		maxDups = 8
+	}
+	var rank []float64
+	if a.opts.SigmaRank {
+		rank = sched.RankUpwardSigma(in)
+	} else {
+		rank = sched.RankUpward(in)
+	}
+	order := algo.OrderDescPrecedence(in.G, rank)
+
+	// For lookahead: the most critical child of each task and an estimated
+	// finish time for not-yet-scheduled tasks (used for a child's other
+	// parents), from mean-cost downward ranks.
+	var critChild []dag.TaskID
+	var estFinish []float64
+	if a.opts.Lookahead {
+		critChild = make([]dag.TaskID, in.N())
+		for i := 0; i < in.N(); i++ {
+			critChild[i] = -1
+			for _, s := range in.G.Succ(dag.TaskID(i)) {
+				if critChild[i] == -1 || rank[s.To] > rank[critChild[i]] {
+					critChild[i] = s.To
+				}
+			}
+		}
+		down := sched.RankDownward(in)
+		estFinish = make([]float64, in.N())
+		for i := range estFinish {
+			estFinish[i] = down[i] + in.MeanCost(dag.TaskID(i))
+		}
+	}
+
+	pl := sched.NewPlan(in)
+	for _, t := range order {
+		bestScore := math.Inf(1)
+		bestFinish := math.Inf(1)
+		bestProc := -1
+		bestStart := 0.0
+		var bestPlan *sched.Plan
+		for p := 0; p < in.P(); p++ {
+			cand := pl
+			var start, finish float64
+			if a.opts.Duplication {
+				res := algo.TryDuplication(pl, t, p, maxDups)
+				cand, start, finish = res.Plan, res.Start, res.Finish
+			} else {
+				start, finish = pl.EFTOn(t, p, true)
+			}
+			score := finish
+			if a.opts.Lookahead && critChild[t] != -1 {
+				// Tentatively place t and estimate the critical child's
+				// achievable EFT.
+				work := cand.Clone()
+				work.Place(t, p, start)
+				score = estimateChildEFT(work, critChild[t], estFinish)
+			}
+			if score < bestScore-1e-12 || (math.Abs(score-bestScore) <= 1e-12 && finish < bestFinish) {
+				bestScore, bestFinish, bestProc, bestStart, bestPlan = score, finish, p, start, cand
+			}
+		}
+		pl = bestPlan
+		pl.Place(t, bestProc, bestStart)
+	}
+	return pl.Finalize(a.name), nil
+}
+
+// estimateChildEFT returns the smallest estimated finish time of task c
+// over all processors given the current (tentative) plan. Scheduled
+// parents contribute their real data-arrival times; unscheduled parents
+// contribute a mean-cost estimate (downward rank + mean execution + mean
+// communication).
+func estimateChildEFT(pl *sched.Plan, c dag.TaskID, estFinish []float64) float64 {
+	in := pl.Instance()
+	best := math.Inf(1)
+	for q := 0; q < in.P(); q++ {
+		ready := 0.0
+		for _, pe := range in.G.Pred(c) {
+			var arrival float64
+			if pl.Scheduled(pe.To) {
+				arrival = math.Inf(1)
+				for _, cp := range pl.Copies(pe.To) {
+					if t := cp.Finish + in.Sys.CommCost(cp.Proc, q, pe.Data); t < arrival {
+						arrival = t
+					}
+				}
+			} else {
+				arrival = estFinish[pe.To] + in.MeanCommData(pe.Data)
+			}
+			if arrival > ready {
+				ready = arrival
+			}
+		}
+		start := pl.FindSlot(q, ready, in.Cost(c, q), true)
+		if f := start + in.Cost(c, q); f < best {
+			best = f
+		}
+	}
+	return best
+}

@@ -1,0 +1,98 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates tasks and edges and produces an immutable Graph.
+// The zero value is ready to use.
+type Builder struct {
+	name  string
+	tasks []Task
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with the given name.
+func NewBuilder(name string) *Builder { return &Builder{name: name} }
+
+// AddTask appends a task with the given name and nominal weight and returns
+// its id. Weights must be non-negative; Build reports violations.
+func (b *Builder) AddTask(name string, weight float64) TaskID {
+	id := TaskID(len(b.tasks))
+	if name == "" {
+		name = fmt.Sprintf("t%d", id)
+	}
+	b.tasks = append(b.tasks, Task{ID: id, Name: name, Weight: weight})
+	return id
+}
+
+// AddEdge records a dependency from -> to carrying data units of
+// communication. Validation happens in Build.
+func (b *Builder) AddEdge(from, to TaskID, data float64) {
+	b.edges = append(b.edges, Edge{From: from, To: to, Data: data})
+}
+
+// Len returns the number of tasks added so far.
+func (b *Builder) Len() int { return len(b.tasks) }
+
+// Build validates the accumulated structure and returns the immutable
+// Graph. It fails on out-of-range endpoints, self-loops, duplicate edges,
+// negative weights and cycles.
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.tasks)
+	if n == 0 {
+		return nil, errors.New("dag: graph has no tasks")
+	}
+	for _, t := range b.tasks {
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("dag: task %d (%s) has negative weight %g", t.ID, t.Name, t.Weight)
+		}
+	}
+	g := &Graph{
+		name:  b.name,
+		tasks: append([]Task(nil), b.tasks...),
+		succ:  make([][]Adj, n),
+		pred:  make([][]Adj, n),
+	}
+	for _, e := range b.edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return nil, fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", e.From, e.To, n)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("dag: self-loop on task %d", e.From)
+		}
+		if e.Data < 0 {
+			return nil, fmt.Errorf("dag: edge (%d,%d) has negative data %g", e.From, e.To, e.Data)
+		}
+		g.succ[e.From] = append(g.succ[e.From], Adj{To: e.To, Data: e.Data})
+		g.pred[e.To] = append(g.pred[e.To], Adj{To: e.From, Data: e.Data})
+	}
+	for i := range g.succ {
+		adj := g.succ[i]
+		sort.Slice(adj, func(a, b int) bool { return adj[a].To < adj[b].To })
+		for k := 1; k < len(adj); k++ {
+			if adj[k].To == adj[k-1].To {
+				return nil, fmt.Errorf("dag: duplicate edge (%d,%d)", i, adj[k].To)
+			}
+		}
+		p := g.pred[i]
+		sort.Slice(p, func(a, b int) bool { return p[a].To < p[b].To })
+	}
+	g.edges = len(b.edges)
+	if _, err := topoOrder(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error; intended for workload generators
+// whose construction is correct by design and for tests.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,36 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT emits the graph in Graphviz DOT format. Node labels carry the
+// task name and nominal weight; edge labels carry the data volume.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", dotName(g.name))
+	b.WriteString("  rankdir=TB;\n  node [shape=ellipse];\n")
+	for _, t := range g.tasks {
+		fmt.Fprintf(&b, "  %d [label=\"%s\\nw=%.4g\"];\n", t.ID, dotEscape(t.Name), t.Weight)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %d -> %d [label=\"%.4g\"];\n", e.From, e.To, e.Data)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func dotName(s string) string {
+	if s == "" {
+		return "dag"
+	}
+	return s
+}
+
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,56 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzReadJSON asserts the graph decoder never panics and that anything
+// it accepts is a well-formed DAG that re-serializes losslessly.
+func FuzzReadJSON(f *testing.F) {
+	// Seed corpus: valid graphs and near-misses.
+	f.Add([]byte(`{"tasks":[{"id":0,"weight":1}],"edges":[]}`))
+	f.Add([]byte(`{"tasks":[{"id":0,"weight":1},{"id":1,"weight":2}],"edges":[{"from":0,"to":1,"data":3}]}`))
+	f.Add([]byte(`{"tasks":[{"id":0,"weight":-1}],"edges":[]}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"weight":1}],"edges":[]}`))
+	f.Add([]byte(`{"tasks":[{"id":0,"weight":1}],"edges":[{"from":0,"to":0,"data":1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		// Accepted graphs must be coherent.
+		if g.Len() == 0 {
+			t.Fatal("accepted an empty graph")
+		}
+		order := g.TopoOrder()
+		if len(order) != g.Len() {
+			t.Fatal("topological order incomplete")
+		}
+		for _, task := range g.Tasks() {
+			if task.Weight < 0 {
+				t.Fatal("accepted negative weight")
+			}
+		}
+		for _, e := range g.Edges() {
+			if e.Data < 0 || e.From == e.To {
+				t.Fatalf("accepted bad edge %+v", e)
+			}
+		}
+		// Round trip.
+		out, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := ReadJSON(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if !graphsEqual(g, back) {
+			t.Fatal("round trip lost information")
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package dag provides the directed-acyclic-graph substrate used by every
+// scheduling algorithm in this repository: the task-graph model, builders,
+// traversals, critical-path analysis and serialization.
+//
+// A Graph is immutable after Build; algorithms never mutate it. Task and
+// edge weights stored here are *nominal* costs: the per-processor execution
+// cost of a task on a concrete platform is derived in package sched by
+// combining the nominal weight with the platform's heterogeneity model.
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a task within a single Graph. IDs are dense: a graph
+// with n tasks uses IDs 0..n-1.
+type TaskID int
+
+// Task is a node of the task graph. Weight is the nominal computation cost
+// (e.g. the cost on a reference processor of speed 1.0).
+type Task struct {
+	ID     TaskID
+	Name   string
+	Weight float64
+}
+
+// Adj is one adjacency entry: the neighbouring task and the data volume
+// carried by the connecting edge.
+type Adj struct {
+	To   TaskID
+	Data float64
+}
+
+// Edge is a dependency i -> j transferring Data units of communication.
+type Edge struct {
+	From TaskID
+	To   TaskID
+	Data float64
+}
+
+// Graph is an immutable weighted DAG.
+type Graph struct {
+	name  string
+	tasks []Task
+	succ  [][]Adj // succ[i] sorted by To
+	pred  [][]Adj // pred[j] sorted by To (i.e. by predecessor id)
+	edges int
+}
+
+// Name returns the human-readable name given at build time (may be empty).
+func (g *Graph) Name() string { return g.name }
+
+// Len returns the number of tasks.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Task returns the task with the given id. It panics if id is out of
+// range, consistent with slice indexing semantics.
+func (g *Graph) Task(id TaskID) Task { return g.tasks[id] }
+
+// Tasks returns a copy of all tasks in id order.
+func (g *Graph) Tasks() []Task {
+	out := make([]Task, len(g.tasks))
+	copy(out, g.tasks)
+	return out
+}
+
+// Succ returns the successor adjacency of id. The returned slice must not
+// be modified.
+func (g *Graph) Succ(id TaskID) []Adj { return g.succ[id] }
+
+// Pred returns the predecessor adjacency of id. The returned slice must
+// not be modified.
+func (g *Graph) Pred(id TaskID) []Adj { return g.pred[id] }
+
+// OutDegree returns the number of successors of id.
+func (g *Graph) OutDegree(id TaskID) int { return len(g.succ[id]) }
+
+// InDegree returns the number of predecessors of id.
+func (g *Graph) InDegree(id TaskID) int { return len(g.pred[id]) }
+
+// EdgeData returns the data volume on edge (from, to) and whether the edge
+// exists.
+func (g *Graph) EdgeData(from, to TaskID) (float64, bool) {
+	adj := g.succ[from]
+	k := sort.Search(len(adj), func(i int) bool { return adj[i].To >= to })
+	if k < len(adj) && adj[k].To == to {
+		return adj[k].Data, true
+	}
+	return 0, false
+}
+
+// Edges returns all edges in (From, To) order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for i := range g.succ {
+		for _, a := range g.succ[i] {
+			out = append(out, Edge{From: TaskID(i), To: a.To, Data: a.Data})
+		}
+	}
+	return out
+}
+
+// Entries returns all tasks with no predecessors, in id order.
+func (g *Graph) Entries() []TaskID {
+	var out []TaskID
+	for i := range g.tasks {
+		if len(g.pred[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// Exits returns all tasks with no successors, in id order.
+func (g *Graph) Exits() []TaskID {
+	var out []TaskID
+	for i := range g.tasks {
+		if len(g.succ[i]) == 0 {
+			out = append(out, TaskID(i))
+		}
+	}
+	return out
+}
+
+// TotalWeight returns the sum of all nominal task weights.
+func (g *Graph) TotalWeight() float64 {
+	var s float64
+	for _, t := range g.tasks {
+		s += t.Weight
+	}
+	return s
+}
+
+// TotalData returns the sum of all edge data volumes.
+func (g *Graph) TotalData() float64 {
+	var s float64
+	for i := range g.succ {
+		for _, a := range g.succ[i] {
+			s += a.Data
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a short structural summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("dag(%s: %d tasks, %d edges)", g.name, len(g.tasks), g.edges)
+}

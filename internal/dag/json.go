@@ -1,0 +1,79 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk representation of a Graph.
+type jsonGraph struct {
+	Name  string     `json:"name,omitempty"`
+	Tasks []jsonTask `json:"tasks"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonTask struct {
+	ID     TaskID  `json:"id"`
+	Name   string  `json:"name,omitempty"`
+	Weight float64 `json:"weight"`
+}
+
+type jsonEdge struct {
+	From TaskID  `json:"from"`
+	To   TaskID  `json:"to"`
+	Data float64 `json:"data"`
+}
+
+// MarshalJSON encodes the graph as {name, tasks, edges}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name}
+	for _, t := range g.tasks {
+		jg.Tasks = append(jg.Tasks, jsonTask{ID: t.ID, Name: t.Name, Weight: t.Weight})
+	}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, jsonEdge{From: e.From, To: e.To, Data: e.Data})
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes and re-validates a graph. Task ids in the input
+// must be dense 0..n-1 and listed in id order.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("dag: decoding graph: %w", err)
+	}
+	b := NewBuilder(jg.Name)
+	for i, t := range jg.Tasks {
+		if int(t.ID) != i {
+			return fmt.Errorf("dag: task ids must be dense and ordered; got id %d at index %d", t.ID, i)
+		}
+		b.AddTask(t.Name, t.Weight)
+	}
+	for _, e := range jg.Edges {
+		b.AddEdge(e.From, e.To, e.Data)
+	}
+	built, err := b.Build()
+	if err != nil {
+		return err
+	}
+	*g = *built
+	return nil
+}
+
+// WriteJSON writes the graph as indented JSON.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadJSON reads a graph produced by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var g Graph
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,105 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.Name() != b.Name() || a.Len() != b.Len() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		ta, tb := a.Task(TaskID(i)), b.Task(TaskID(i))
+		if ta != tb {
+			return false
+		}
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("round trip lost information")
+	}
+}
+
+func TestJSONRoundTripRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(rng, 1+rng.Intn(30), 0.2)
+		data, err := json.Marshal(g)
+		if err != nil {
+			t.Fatalf("Marshal: %v", err)
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("Unmarshal: %v", err)
+		}
+		if !graphsEqual(g, &back) {
+			t.Fatal("random round trip lost information")
+		}
+	}
+}
+
+func TestJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{`,
+		"sparse ids":   `{"tasks":[{"id":1,"weight":1}],"edges":[]}`,
+		"cycle":        `{"tasks":[{"id":0,"weight":1},{"id":1,"weight":1}],"edges":[{"from":0,"to":1,"data":1},{"from":1,"to":0,"data":1}]}`,
+		"bad edge ref": `{"tasks":[{"id":0,"weight":1}],"edges":[{"from":0,"to":9,"data":1}]}`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			var g Graph
+			if err := json.Unmarshal([]byte(in), &g); err == nil {
+				t.Fatal("Unmarshal succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "0 -> 1", "2 -> 3", `label="a`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTEscapes(t *testing.T) {
+	b := NewBuilder("")
+	b.AddTask(`quo"te`, 1)
+	g := b.MustBuild()
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	if !strings.Contains(buf.String(), `quo\"te`) {
+		t.Fatalf("quote not escaped:\n%s", buf.String())
+	}
+}

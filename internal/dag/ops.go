@@ -1,0 +1,113 @@
+package dag
+
+import "fmt"
+
+// TransitiveReduction returns a copy of the graph with every edge removed
+// whose endpoints remain connected through a longer path. Task weights and
+// the data volumes of surviving edges are preserved. Scheduling a reduced
+// graph is NOT equivalent in general — a removed edge's communication
+// disappears — so this is an analysis tool, not a preprocessing step.
+func (g *Graph) TransitiveReduction() *Graph {
+	n := g.Len()
+	// reach[v] = bitset of tasks reachable from v via >= 1 edge.
+	words := (n + 63) / 64
+	reach := make([][]uint64, n)
+	for i := range reach {
+		reach[i] = make([]uint64, words)
+	}
+	set := func(bs []uint64, i TaskID) { bs[i/64] |= 1 << (uint(i) % 64) }
+	get := func(bs []uint64, i TaskID) bool { return bs[i/64]&(1<<(uint(i)%64)) != 0 }
+	for _, v := range g.ReverseTopoOrder() {
+		for _, a := range g.succ[v] {
+			set(reach[v], a.To)
+			for w := 0; w < words; w++ {
+				reach[v][w] |= reach[a.To][w]
+			}
+		}
+	}
+	b := NewBuilder(g.name)
+	for _, t := range g.tasks {
+		b.AddTask(t.Name, t.Weight)
+	}
+	for i := range g.succ {
+		for _, a := range g.succ[i] {
+			// Redundant iff some other successor reaches a.To.
+			redundant := false
+			for _, other := range g.succ[i] {
+				if other.To != a.To && get(reach[other.To], a.To) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				b.AddEdge(TaskID(i), a.To, a.Data)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Stats summarizes the structural properties scheduling behaviour depends
+// on.
+type Stats struct {
+	Tasks, Edges     int
+	Height           int     // levels on the longest path
+	MaxWidth         int     // widest level
+	AvgWidth         float64 // tasks / height
+	Density          float64 // edges / possible forward pairs
+	MaxInDeg         int
+	MaxOutDeg        int
+	TotalWeight      float64
+	TotalData        float64
+	CPLength         float64 // weight-only critical path
+	Parallelism      float64 // total weight / CP length: avg exploitable parallelism
+	CommToCompByUnit float64 // total data / total weight
+}
+
+// ComputeStats returns the structural statistics of the graph.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Tasks:       g.Len(),
+		Edges:       g.NumEdges(),
+		Height:      g.Height(),
+		TotalWeight: g.TotalWeight(),
+		TotalData:   g.TotalData(),
+		CPLength:    g.CriticalPathLength(false),
+	}
+	widths := make(map[int]int)
+	for _, lv := range g.Levels() {
+		widths[lv]++
+	}
+	for _, w := range widths {
+		if w > s.MaxWidth {
+			s.MaxWidth = w
+		}
+	}
+	if s.Height > 0 {
+		s.AvgWidth = float64(s.Tasks) / float64(s.Height)
+	}
+	if n := s.Tasks; n > 1 {
+		s.Density = float64(s.Edges) / float64(n*(n-1)/2)
+	}
+	for i := 0; i < g.Len(); i++ {
+		if d := g.InDegree(TaskID(i)); d > s.MaxInDeg {
+			s.MaxInDeg = d
+		}
+		if d := g.OutDegree(TaskID(i)); d > s.MaxOutDeg {
+			s.MaxOutDeg = d
+		}
+	}
+	if s.CPLength > 0 {
+		s.Parallelism = s.TotalWeight / s.CPLength
+	}
+	if s.TotalWeight > 0 {
+		s.CommToCompByUnit = s.TotalData / s.TotalWeight
+	}
+	return s
+}
+
+// String renders the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("tasks=%d edges=%d height=%d maxWidth=%d density=%.3f parallelism=%.2f",
+		s.Tasks, s.Edges, s.Height, s.MaxWidth, s.Density, s.Parallelism)
+}

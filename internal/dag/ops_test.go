@@ -1,0 +1,119 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTransitiveReductionRemovesShortcuts(t *testing.T) {
+	// 0 -> 1 -> 2 plus the shortcut 0 -> 2: the shortcut must go.
+	b := NewBuilder("tr")
+	t0 := b.AddTask("", 1)
+	t1 := b.AddTask("", 1)
+	t2 := b.AddTask("", 1)
+	b.AddEdge(t0, t1, 1)
+	b.AddEdge(t1, t2, 1)
+	b.AddEdge(t0, t2, 9)
+	g := b.MustBuild()
+	r := g.TransitiveReduction()
+	if r.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", r.NumEdges())
+	}
+	if _, ok := r.EdgeData(0, 2); ok {
+		t.Fatal("shortcut 0->2 survived")
+	}
+	if d, ok := r.EdgeData(0, 1); !ok || d != 1 {
+		t.Fatal("edge 0->1 lost or changed")
+	}
+}
+
+func TestTransitiveReductionKeepsDiamonds(t *testing.T) {
+	// A diamond has no redundant edges.
+	b := NewBuilder("d")
+	t0 := b.AddTask("", 1)
+	t1 := b.AddTask("", 1)
+	t2 := b.AddTask("", 1)
+	t3 := b.AddTask("", 1)
+	b.AddEdge(t0, t1, 1)
+	b.AddEdge(t0, t2, 1)
+	b.AddEdge(t1, t3, 1)
+	b.AddEdge(t2, t3, 1)
+	g := b.MustBuild()
+	if r := g.TransitiveReduction(); r.NumEdges() != 4 {
+		t.Fatalf("diamond lost edges: %d", r.NumEdges())
+	}
+}
+
+// Property: reduction preserves reachability and never adds edges.
+func TestTransitiveReductionPreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(25), 0.3)
+		r := g.TransitiveReduction()
+		if r.NumEdges() > g.NumEdges() {
+			t.Fatal("reduction added edges")
+		}
+		for i := 0; i < g.Len(); i++ {
+			for j := 0; j < g.Len(); j++ {
+				a, b := TaskID(i), TaskID(j)
+				if g.IsReachable(a, b) != r.IsReachable(a, b) {
+					t.Fatalf("trial %d: reachability(%d,%d) changed", trial, i, j)
+				}
+			}
+		}
+		// Reducing twice is idempotent.
+		if rr := r.TransitiveReduction(); rr.NumEdges() != r.NumEdges() {
+			t.Fatal("reduction not idempotent")
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder("stats")
+	t0 := b.AddTask("", 2)
+	t1 := b.AddTask("", 3)
+	t2 := b.AddTask("", 1)
+	t3 := b.AddTask("", 4)
+	b.AddEdge(t0, t1, 1)
+	b.AddEdge(t0, t2, 4)
+	b.AddEdge(t1, t3, 2)
+	b.AddEdge(t2, t3, 3)
+	g := b.MustBuild()
+	s := g.ComputeStats()
+	if s.Tasks != 4 || s.Edges != 4 || s.Height != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MaxWidth != 2 {
+		t.Fatalf("MaxWidth = %d", s.MaxWidth)
+	}
+	if s.MaxInDeg != 2 || s.MaxOutDeg != 2 {
+		t.Fatalf("degrees = %d/%d", s.MaxInDeg, s.MaxOutDeg)
+	}
+	if s.TotalWeight != 10 || s.TotalData != 10 {
+		t.Fatalf("totals = %g/%g", s.TotalWeight, s.TotalData)
+	}
+	if s.CPLength != 9 {
+		t.Fatalf("CPLength = %g", s.CPLength)
+	}
+	if !almostEqual(s.Parallelism, 10.0/9) {
+		t.Fatalf("Parallelism = %g", s.Parallelism)
+	}
+	if !almostEqual(s.CommToCompByUnit, 1) {
+		t.Fatalf("CommToComp = %g", s.CommToCompByUnit)
+	}
+	if !almostEqual(s.Density, 4.0/6) {
+		t.Fatalf("Density = %g", s.Density)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestComputeStatsSingleTask(t *testing.T) {
+	b := NewBuilder("one")
+	b.AddTask("", 5)
+	s := b.MustBuild().ComputeStats()
+	if s.Tasks != 1 || s.Height != 1 || s.Density != 0 || s.Parallelism != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -1,0 +1,122 @@
+package dag
+
+// Path analysis on nominal weights. These helpers treat the graph's
+// nominal task weights as execution costs and (optionally) edge data as
+// communication costs with unit rate; platform-aware variants live in
+// package sched where per-processor costs are known.
+
+// CriticalPathLength returns the length of the longest path through the
+// graph counting task weights and, if withComm is true, edge data volumes.
+func (g *Graph) CriticalPathLength(withComm bool) float64 {
+	_, length := g.CriticalPath(withComm)
+	return length
+}
+
+// CriticalPath returns one longest path (as a task sequence from an entry
+// to an exit) and its length. Task weights always count; edge data counts
+// only when withComm is true. Ties are broken deterministically toward the
+// successor with the smallest id.
+func (g *Graph) CriticalPath(withComm bool) ([]TaskID, float64) {
+	n := g.Len()
+	next := make([]TaskID, n) // successor on the longest path starting at v
+	for i := range next {
+		next[i] = -1
+	}
+	// Longest path from v to any exit, computed in reverse topological
+	// order: down[v] = w(v) + max(comm + down[s]). Adjacency is sorted by
+	// id, so taking strictly-greater candidates breaks ties toward the
+	// smallest successor id.
+	down := make([]float64, n)
+	for _, v := range g.ReverseTopoOrder() {
+		best := 0.0
+		bestSucc := TaskID(-1)
+		for _, a := range g.succ[v] {
+			c := 0.0
+			if withComm {
+				c = a.Data
+			}
+			if cand := c + down[a.To]; bestSucc == -1 || cand > best {
+				best = cand
+				bestSucc = a.To
+			}
+		}
+		down[v] = g.tasks[v].Weight + best
+		next[v] = bestSucc
+	}
+	// Start at the entry with the largest downward distance; smallest id
+	// wins ties.
+	start := TaskID(0)
+	for i := 1; i < n; i++ {
+		if down[i] > down[start] {
+			start = TaskID(i)
+		}
+	}
+	var path []TaskID
+	for v := start; v != -1; v = next[v] {
+		path = append(path, v)
+	}
+	return path, down[start]
+}
+
+// BottomLevels returns, for every task, the longest path from the task to
+// any exit (inclusive of the task's weight). Edge data counts only when
+// withComm is true. In the scheduling literature this is the "static
+// (bottom) level" when withComm is false.
+func (g *Graph) BottomLevels(withComm bool) []float64 {
+	n := g.Len()
+	bl := make([]float64, n)
+	for _, v := range g.ReverseTopoOrder() {
+		best := 0.0
+		for _, a := range g.succ[v] {
+			c := 0.0
+			if withComm {
+				c = a.Data
+			}
+			if cand := c + bl[a.To]; cand > best {
+				best = cand
+			}
+		}
+		bl[v] = g.tasks[v].Weight + best
+	}
+	return bl
+}
+
+// TopLevels returns, for every task, the longest path from any entry to
+// the task (exclusive of the task's own weight), i.e. its earliest
+// possible start on an unbounded homogeneous machine.
+func (g *Graph) TopLevels(withComm bool) []float64 {
+	n := g.Len()
+	tl := make([]float64, n)
+	for _, v := range g.TopoOrder() {
+		best := 0.0
+		for _, p := range g.pred[v] {
+			c := 0.0
+			if withComm {
+				c = p.Data
+			}
+			if cand := tl[p.To] + g.tasks[p.To].Weight + c; cand > best {
+				best = cand
+			}
+		}
+		tl[v] = best
+	}
+	return tl
+}
+
+// ALAP returns the as-late-as-possible start time for every task such that
+// the overall critical-path length is preserved: alap[v] = CP - bl[v] where
+// bl is the bottom level. Edge data counts only when withComm is true.
+func (g *Graph) ALAP(withComm bool) []float64 {
+	bl := g.BottomLevels(withComm)
+	cp := 0.0
+	for _, v := range bl {
+		if v > cp {
+			cp = v
+		}
+	}
+	out := make([]float64, len(bl))
+	for i, v := range bl {
+		out[i] = cp - v
+	}
+	return out
+}

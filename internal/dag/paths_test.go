@@ -1,0 +1,148 @@
+package dag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const eps = 1e-9
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < eps }
+
+func TestCriticalPathDiamond(t *testing.T) {
+	g := diamond(t)
+	// Without comm: 0->1->3 = 2+3+4 = 9 vs 0->2->3 = 2+1+4 = 7.
+	path, length := g.CriticalPath(false)
+	if !almostEqual(length, 9) {
+		t.Fatalf("CP length (no comm) = %g, want 9", length)
+	}
+	want := []TaskID{0, 1, 3}
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// With comm: 0-(1)->1-(2)->3 = 2+1+3+2+4 = 12 vs 0-(4)->2-(3)->3 = 2+4+1+3+4 = 14.
+	path, length = g.CriticalPath(true)
+	if !almostEqual(length, 14) {
+		t.Fatalf("CP length (comm) = %g, want 14", length)
+	}
+	if path[1] != 2 {
+		t.Fatalf("comm path = %v, want through task 2", path)
+	}
+	if got := g.CriticalPathLength(true); !almostEqual(got, 14) {
+		t.Fatalf("CriticalPathLength = %g", got)
+	}
+}
+
+func TestBottomAndTopLevels(t *testing.T) {
+	g := diamond(t)
+	bl := g.BottomLevels(false)
+	wantBL := []float64{9, 7, 5, 4}
+	for i := range wantBL {
+		if !almostEqual(bl[i], wantBL[i]) {
+			t.Fatalf("BottomLevels = %v, want %v", bl, wantBL)
+		}
+	}
+	tl := g.TopLevels(false)
+	wantTL := []float64{0, 2, 2, 5}
+	for i := range wantTL {
+		if !almostEqual(tl[i], wantTL[i]) {
+			t.Fatalf("TopLevels = %v, want %v", tl, wantTL)
+		}
+	}
+	blc := g.BottomLevels(true)
+	wantBLC := []float64{14, 9, 8, 4}
+	for i := range wantBLC {
+		if !almostEqual(blc[i], wantBLC[i]) {
+			t.Fatalf("BottomLevels(comm) = %v, want %v", blc, wantBLC)
+		}
+	}
+}
+
+func TestALAP(t *testing.T) {
+	g := diamond(t)
+	alap := g.ALAP(false)
+	// CP = 9; alap[v] = 9 - bl[v].
+	want := []float64{0, 2, 4, 5}
+	for i := range want {
+		if !almostEqual(alap[i], want[i]) {
+			t.Fatalf("ALAP = %v, want %v", alap, want)
+		}
+	}
+}
+
+// Property: for every task, topLevel + bottomLevel <= CP length, with
+// equality exactly on critical-path tasks; and levels are consistent along
+// edges.
+func TestLevelInvariantsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(50), 0.12)
+		for _, withComm := range []bool{false, true} {
+			bl := g.BottomLevels(withComm)
+			tl := g.TopLevels(withComm)
+			cp := g.CriticalPathLength(withComm)
+			onCP := false
+			for i := 0; i < g.Len(); i++ {
+				sum := tl[i] + bl[i]
+				if sum > cp+eps {
+					t.Fatalf("task %d: tl+bl = %g > cp = %g", i, sum, cp)
+				}
+				if almostEqual(sum, cp) {
+					onCP = true
+				}
+			}
+			if !onCP {
+				t.Fatal("no task achieves tl+bl == cp")
+			}
+			for _, e := range g.Edges() {
+				c := 0.0
+				if withComm {
+					c = e.Data
+				}
+				if bl[e.From] < g.Task(e.From).Weight+c+bl[e.To]-eps {
+					t.Fatalf("bottom level not monotone along edge %v", e)
+				}
+				if tl[e.To] < tl[e.From]+g.Task(e.From).Weight+c-eps {
+					t.Fatalf("top level not monotone along edge %v", e)
+				}
+			}
+		}
+	}
+}
+
+// Property: the returned critical path is a real path whose weights sum to
+// the reported length.
+func TestCriticalPathIsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(40), 0.15)
+		for _, withComm := range []bool{false, true} {
+			path, length := g.CriticalPath(withComm)
+			if len(path) == 0 {
+				t.Fatal("empty critical path")
+			}
+			sum := 0.0
+			for i, v := range path {
+				sum += g.Task(v).Weight
+				if i+1 < len(path) {
+					d, ok := g.EdgeData(v, path[i+1])
+					if !ok {
+						t.Fatalf("path step (%d,%d) is not an edge", v, path[i+1])
+					}
+					if withComm {
+						sum += d
+					}
+				}
+			}
+			if !almostEqual(sum, length) {
+				t.Fatalf("path sums to %g, reported %g", sum, length)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package dag
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genInput is a randomized graph description drawn by testing/quick: a
+// seed and size knobs from which a deterministic DAG is built. Generating
+// the description (rather than the Graph) keeps shrinking meaningful.
+type genInput struct {
+	Seed     int64
+	N        uint8 // 1..64 after clamping
+	EdgeProb uint8 // percent, 0..100 after clamping
+}
+
+// Generate implements quick.Generator.
+func (genInput) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(genInput{
+		Seed:     r.Int63(),
+		N:        uint8(1 + r.Intn(64)),
+		EdgeProb: uint8(r.Intn(101)),
+	})
+}
+
+func (gi genInput) build() *Graph {
+	rng := rand.New(rand.NewSource(gi.Seed))
+	n := int(gi.N)
+	p := float64(gi.EdgeProb) / 100
+	b := NewBuilder("quick")
+	for i := 0; i < n; i++ {
+		b.AddTask("", rng.Float64()*100)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				b.AddEdge(TaskID(i), TaskID(j), rng.Float64()*50)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Property: every generated forward-edge graph builds, topological order
+// is a valid permutation, and levels are consistent with edges.
+func TestQuickTopoInvariants(t *testing.T) {
+	f := func(gi genInput) bool {
+		g := gi.build()
+		order := g.TopoOrder()
+		if len(order) != g.Len() {
+			return false
+		}
+		pos := make([]int, g.Len())
+		seen := make([]bool, g.Len())
+		for i, v := range order {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			pos[v] = i
+		}
+		levels := g.Levels()
+		for _, e := range g.Edges() {
+			if pos[e.From] >= pos[e.To] {
+				return false
+			}
+			if levels[e.From] >= levels[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: JSON round-trips preserve the graph exactly.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	f := func(gi genInput) bool {
+		g := gi.build()
+		data, err := json.Marshal(g)
+		if err != nil {
+			return false
+		}
+		var back Graph
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return graphsEqual(g, &back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: critical-path length equals the max over tasks of
+// top-level + bottom-level, for both cost conventions.
+func TestQuickCriticalPathConsistency(t *testing.T) {
+	f := func(gi genInput, withComm bool) bool {
+		g := gi.build()
+		tl := g.TopLevels(withComm)
+		bl := g.BottomLevels(withComm)
+		cp := g.CriticalPathLength(withComm)
+		maxSum := 0.0
+		for i := range tl {
+			if s := tl[i] + bl[i]; s > maxSum {
+				maxSum = s
+			}
+		}
+		return math.Abs(cp-maxSum) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ALAP start times are non-negative and never precede the
+// task's earliest possible start.
+func TestQuickALAPDominatesTopLevel(t *testing.T) {
+	f := func(gi genInput) bool {
+		g := gi.build()
+		alap := g.ALAP(true)
+		tl := g.TopLevels(true)
+		for i := range alap {
+			if alap[i] < -1e-9 {
+				return false
+			}
+			if alap[i] < tl[i]-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

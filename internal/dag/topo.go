@@ -1,0 +1,119 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCycle reports that a task graph contains a dependency cycle.
+var ErrCycle = errors.New("dag: graph contains a cycle")
+
+// topoOrder computes one topological order using Kahn's algorithm,
+// returning ErrCycle if the graph is not acyclic. Ties are broken by task
+// id so the order is deterministic.
+func topoOrder(g *Graph) ([]TaskID, error) {
+	n := g.Len()
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.pred[i])
+	}
+	// A monotone frontier: because ready tasks are appended in id order
+	// per wave and consumed FIFO, the order is deterministic.
+	queue := make([]TaskID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, TaskID(i))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, a := range g.succ[v] {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("%w (%d of %d tasks ordered)", ErrCycle, len(order), n)
+	}
+	return order, nil
+}
+
+// TopoOrder returns a deterministic topological order of the graph. The
+// graph is guaranteed acyclic by Build, so no error is possible.
+func (g *Graph) TopoOrder() []TaskID {
+	order, err := topoOrder(g)
+	if err != nil {
+		// Build guarantees acyclicity; reaching this indicates memory
+		// corruption or misuse of the package internals.
+		panic(err)
+	}
+	return order
+}
+
+// ReverseTopoOrder returns the reverse of TopoOrder.
+func (g *Graph) ReverseTopoOrder() []TaskID {
+	order := g.TopoOrder()
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Levels assigns each task its depth: entry tasks are level 0 and every
+// other task is one more than its deepest predecessor.
+func (g *Graph) Levels() []int {
+	levels := make([]int, g.Len())
+	for _, v := range g.TopoOrder() {
+		lv := 0
+		for _, p := range g.pred[v] {
+			if levels[p.To]+1 > lv {
+				lv = levels[p.To] + 1
+			}
+		}
+		levels[v] = lv
+	}
+	return levels
+}
+
+// Height returns the number of levels in the graph (longest path length in
+// nodes).
+func (g *Graph) Height() int {
+	h := 0
+	for _, lv := range g.Levels() {
+		if lv+1 > h {
+			h = lv + 1
+		}
+	}
+	return h
+}
+
+// IsReachable reports whether to is reachable from from following edges
+// forward. It runs a DFS and is intended for tests and validation, not for
+// inner scheduling loops.
+func (g *Graph) IsReachable(from, to TaskID) bool {
+	if from == to {
+		return true
+	}
+	seen := make([]bool, g.Len())
+	stack := []TaskID{from}
+	seen[from] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.succ[v] {
+			if a.To == to {
+				return true
+			}
+			if !seen[a.To] {
+				seen[a.To] = true
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	return false
+}

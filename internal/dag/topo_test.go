@@ -1,0 +1,115 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkTopo verifies that order is a permutation of all tasks in which
+// every edge goes forward.
+func checkTopo(t *testing.T, g *Graph, order []TaskID) {
+	t.Helper()
+	if len(order) != g.Len() {
+		t.Fatalf("order has %d tasks, want %d", len(order), g.Len())
+	}
+	pos := make(map[TaskID]int, len(order))
+	for i, v := range order {
+		if _, dup := pos[v]; dup {
+			t.Fatalf("task %d appears twice", v)
+		}
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("edge (%d,%d) violated: pos %d >= %d", e.From, e.To, pos[e.From], pos[e.To])
+		}
+	}
+}
+
+func TestTopoOrderDiamond(t *testing.T) {
+	g := diamond(t)
+	order := g.TopoOrder()
+	checkTopo(t, g, order)
+	if order[0] != 0 || order[3] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomDAG(rng, 60, 0.1)
+	first := g.TopoOrder()
+	for i := 0; i < 5; i++ {
+		again := g.TopoOrder()
+		for k := range first {
+			if first[k] != again[k] {
+				t.Fatalf("run %d differs at %d: %d vs %d", i, k, first[k], again[k])
+			}
+		}
+	}
+}
+
+func TestTopoOrderPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		g := randomDAG(rng, n, 0.15)
+		checkTopo(t, g, g.TopoOrder())
+	}
+}
+
+func TestReverseTopoOrder(t *testing.T) {
+	g := diamond(t)
+	rev := g.ReverseTopoOrder()
+	fwd := g.TopoOrder()
+	for i := range fwd {
+		if rev[i] != fwd[len(fwd)-1-i] {
+			t.Fatalf("rev = %v, fwd = %v", rev, fwd)
+		}
+	}
+}
+
+func TestLevelsAndHeight(t *testing.T) {
+	g := diamond(t)
+	levels := g.Levels()
+	want := []int{0, 1, 1, 2}
+	for i, lv := range want {
+		if levels[i] != lv {
+			t.Fatalf("levels = %v, want %v", levels, want)
+		}
+	}
+	if h := g.Height(); h != 3 {
+		t.Fatalf("Height = %d, want 3", h)
+	}
+}
+
+func TestLevelsChain(t *testing.T) {
+	b := NewBuilder("chain")
+	var prev TaskID = -1
+	for i := 0; i < 5; i++ {
+		id := b.AddTask("", 1)
+		if prev >= 0 {
+			b.AddEdge(prev, id, 1)
+		}
+		prev = id
+	}
+	g := b.MustBuild()
+	if h := g.Height(); h != 5 {
+		t.Fatalf("chain height = %d, want 5", h)
+	}
+}
+
+func TestIsReachable(t *testing.T) {
+	g := diamond(t)
+	cases := []struct {
+		from, to TaskID
+		want     bool
+	}{
+		{0, 3, true}, {0, 0, true}, {1, 2, false}, {3, 0, false}, {0, 1, true}, {2, 3, true},
+	}
+	for _, c := range cases {
+		if got := g.IsReachable(c.from, c.to); got != c.want {
+			t.Errorf("IsReachable(%d,%d) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package experiment defines the reproduction suite E1–E13: one
+// experiment per table/figure of the evaluation, each regenerating its
+// rows from scratch with deterministic seeding. The same definitions back
+// the root-level benchmarks and the schedbench CLI.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/metrics"
+	"dagsched/internal/sched"
+)
+
+// Config controls how much work an experiment run does.
+type Config struct {
+	// Reps overrides the number of random DAGs per design point (0 keeps
+	// the experiment's default).
+	Reps int
+	// Seed offsets all random generation; the default 0 is deterministic.
+	Seed int64
+	// Quick shrinks sweeps for tests and benchmarks (roughly 5× faster).
+	Quick bool
+	// Workers bounds the repetition worker pool (0 = GOMAXPROCS).
+	// Parallelism never changes results: every repetition has its own
+	// deterministic random stream.
+	Workers int
+}
+
+func (c Config) reps(def int) int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	if c.Quick {
+		if def/5 < 3 {
+			return 3
+		}
+		return def / 5
+	}
+	return def
+}
+
+// Table is one rendered result table (or figure data series).
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Experiment regenerates one table/figure of the evaluation.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) ([]*Table, error)
+}
+
+// All returns the full suite in id order.
+func All() []Experiment {
+	return []Experiment{
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(),
+		E14(), E15(), E16(), E17(), E18(), E19(),
+	}
+}
+
+// ByID returns the experiment with the given id (e.g. "E3").
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiment: unknown id %q", id)
+}
+
+// RenderMarkdown writes the table as GitHub-flavored markdown.
+func RenderMarkdown(w io.Writer, t *Table) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		b.WriteString("\n" + t.Notes + "\n")
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// genFunc draws one instance.
+type genFunc func(rng *rand.Rand) (*sched.Instance, error)
+
+// meanOver runs every algorithm on reps instances drawn by gen — one
+// deterministic random stream per repetition, evaluated on a worker pool
+// — and returns, per algorithm (order preserved), the accumulator of
+// measure(result).
+func meanOver(algs []algo.Algorithm, reps int, seed int64, gen genFunc,
+	measure func(metrics.Result) float64, workers int) ([]*metrics.Accumulator, error) {
+	rows, err := parallelReps(reps, workers, seed, func(rep int, rng *rand.Rand) ([]float64, error) {
+		in, err := gen(rng)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(algs))
+		for i, a := range algs {
+			res, err := metrics.Evaluate(a, in)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = measure(res)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]*metrics.Accumulator, len(algs))
+	for i := range accs {
+		accs[i] = &metrics.Accumulator{}
+	}
+	for _, row := range rows {
+		for i, v := range row {
+			accs[i].Add(v)
+		}
+	}
+	return accs, nil
+}
+
+// slr extracts the SLR measure.
+func slr(r metrics.Result) float64 { return r.SLR }
+
+// speedup extracts the speedup measure.
+func speedup(r metrics.Result) float64 { return r.Speedup }
+
+// names returns the display names of the algorithms.
+func names(algs []algo.Algorithm) []string {
+	out := make([]string, len(algs))
+	for i, a := range algs {
+		out[i] = a.Name()
+	}
+	return out
+}
+
+// fmtRow renders a sweep label plus one mean per accumulator.
+func fmtRow(label string, accs []*metrics.Accumulator) []string {
+	row := []string{label}
+	for _, a := range accs {
+		row = append(row, fmt.Sprintf("%.3f", a.Mean()))
+	}
+	return row
+}

@@ -1,0 +1,211 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAllIDsOrderedAndUnique(t *testing.T) {
+	exps := All()
+	if len(exps) != 19 {
+		t.Fatalf("suite has %d experiments, want 19", len(exps))
+	}
+	for i, e := range exps {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Fatalf("experiment %d has id %q, want %q", i, e.ID, want)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("%s incomplete", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E9")
+	if err != nil || e.ID != "E9" {
+		t.Fatalf("ByID(E9) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("e3"); err != nil {
+		t.Fatalf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := &Table{
+		ID: "T", Title: "demo", Columns: []string{"x", "y"},
+		Rows:  [][]string{{"1", "2"}, {"3", "4"}},
+		Notes: "a note",
+	}
+	var buf bytes.Buffer
+	if err := RenderMarkdown(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"### T — demo", "| x | y |", "| 1 | 2 |", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigReps(t *testing.T) {
+	if got := (Config{}).reps(25); got != 25 {
+		t.Fatalf("default reps = %d", got)
+	}
+	if got := (Config{Reps: 7}).reps(25); got != 7 {
+		t.Fatalf("override reps = %d", got)
+	}
+	if got := (Config{Quick: true}).reps(25); got != 5 {
+		t.Fatalf("quick reps = %d", got)
+	}
+	if got := (Config{Quick: true}).reps(10); got != 3 {
+		t.Fatalf("quick floor reps = %d", got)
+	}
+}
+
+// Every experiment runs end-to-end in quick mode, produces non-empty
+// numeric tables, and is deterministic for a fixed seed.
+func TestEveryExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick suite still costs a few seconds")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			cfg := Config{Quick: true, Reps: 3, Seed: 9}
+			tables, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 || len(tb.Columns) < 2 {
+					t.Fatalf("%s table %s is empty", e.ID, tb.ID)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("%s table %s: row width %d vs %d columns", e.ID, tb.ID, len(row), len(tb.Columns))
+					}
+					for _, cell := range row[1:] {
+						if _, err := strconv.ParseFloat(cell, 64); err != nil {
+							t.Fatalf("%s table %s: non-numeric cell %q", e.ID, tb.ID, cell)
+						}
+					}
+				}
+				var buf bytes.Buffer
+				if err := RenderMarkdown(&buf, tb); err != nil {
+					t.Fatalf("render %s: %v", tb.ID, err)
+				}
+			}
+			// Determinism.
+			again, err := e.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s rerun: %v", e.ID, err)
+			}
+			for ti := range tables {
+				// Wall-clock tables legitimately vary between runs.
+				if tables[ti].ID == "E12b" || tables[ti].ID == "E15b" {
+					continue
+				}
+				for ri := range tables[ti].Rows {
+					for ci := range tables[ti].Rows[ri] {
+						if tables[ti].Rows[ri][ci] != again[ti].Rows[ri][ci] {
+							t.Fatalf("%s table %s not deterministic at row %d col %d: %q vs %q",
+								e.ID, tables[ti].ID, ri, ci, tables[ti].Rows[ri][ci], again[ti].Rows[ri][ci])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// Parallelism must never change results: the same experiment with 1 and
+// with 4 workers yields identical tables (each repetition has its own
+// deterministic random stream).
+func TestWorkerCountInvariance(t *testing.T) {
+	for _, id := range []string{"E1", "E9", "E13"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := e.Run(Config{Quick: true, Reps: 4, Seed: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		four, err := e.Run(Config{Quick: true, Reps: 4, Seed: 5, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti := range one {
+			for ri := range one[ti].Rows {
+				for ci := range one[ti].Rows[ri] {
+					if one[ti].Rows[ri][ci] != four[ti].Rows[ri][ci] {
+						t.Fatalf("%s table %s differs between 1 and 4 workers at row %d col %d",
+							id, one[ti].ID, ri, ci)
+					}
+				}
+			}
+		}
+	}
+}
+
+// parallelReps propagates the first error and never loses repetitions.
+func TestParallelRepsBasics(t *testing.T) {
+	vals, err := parallelReps(17, 3, 9, func(rep int, rng *rand.Rand) (int, error) {
+		return rep * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if v != i*2 {
+			t.Fatalf("vals[%d] = %d", i, v)
+		}
+	}
+	boom := errors.New("boom")
+	_, err = parallelReps(5, 2, 1, func(rep int, rng *rand.Rand) (int, error) {
+		if rep == 3 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// The reconstruction's headline shape: in the E9 win/tie/loss table, ILS
+// must not lose to HEFT on a majority of instances.
+func TestE9ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical check needs a real batch")
+	}
+	tables, err := E9().Run(Config{Reps: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	for _, row := range tb.Rows {
+		if row[0] != "HEFT" {
+			continue
+		}
+		win, _ := strconv.ParseFloat(row[1], 64)
+		loss, _ := strconv.ParseFloat(row[3], 64)
+		if loss > win {
+			t.Fatalf("ILS loses to HEFT more than it wins: %v", row)
+		}
+		return
+	}
+	t.Fatal("HEFT row missing from E9")
+}

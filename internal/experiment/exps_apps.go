@@ -1,0 +1,124 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dagsched/internal/algo/suite"
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+	"dagsched/internal/workload"
+)
+
+// appGen wraps a fixed application graph into a genFunc: the structure is
+// fixed, only the β-drawn cost matrix varies between repetitions.
+func appGen(g *dag.Graph, procs int, ccr, beta float64) genFunc {
+	return func(rng *rand.Rand) (*sched.Instance, error) {
+		return workload.MakeInstance(g, workload.HetConfig{Procs: procs, CCR: ccr, Beta: beta}, rng)
+	}
+}
+
+// E6 — Gaussian elimination: SLR vs matrix size and vs processor count.
+func E6() Experiment {
+	return Experiment{ID: "E6", Title: "Gaussian elimination (SLR vs matrix size, vs processors)", Run: func(cfg Config) ([]*Table, error) {
+		algs := suite.Heterogeneous()
+		reps := cfg.reps(25)
+		sizes := []int{5, 10, 15, 20, 25}
+		procsSweep := []int{2, 4, 8, 16}
+		if cfg.Quick {
+			sizes = []int{5, 10}
+			procsSweep = []int{2, 8}
+		}
+		t1 := &Table{ID: "E6a", Title: "Gaussian elimination: average SLR vs matrix size (P=8)", Columns: append([]string{"m"}, names(algs)...)}
+		for i, m := range sizes {
+			g, err := workload.GaussianElimination(m)
+			if err != nil {
+				return nil, err
+			}
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(100*i)+61, appGen(g, 8, 1, 1), slr, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t1.Rows = append(t1.Rows, fmtRow(fmt.Sprintf("%d", m), accs))
+		}
+		t1.Notes = fmt.Sprintf("Mean SLR over %d cost-matrix draws per point, CCR=1, β=1.", reps)
+		t2 := &Table{ID: "E6b", Title: "Gaussian elimination: average SLR vs processor count (m=15)", Columns: append([]string{"P"}, names(algs)...)}
+		g15, err := workload.GaussianElimination(15)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range procsSweep {
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(100*i)+62, appGen(g15, p, 1, 1), slr, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t2.Rows = append(t2.Rows, fmtRow(fmt.Sprintf("%d", p), accs))
+		}
+		return []*Table{t1, t2}, nil
+	}}
+}
+
+// E7 — FFT: SLR vs input points and vs CCR.
+func E7() Experiment {
+	return Experiment{ID: "E7", Title: "FFT (SLR vs points, vs CCR)", Run: func(cfg Config) ([]*Table, error) {
+		algs := suite.Heterogeneous()
+		reps := cfg.reps(25)
+		points := []int{8, 16, 32, 64}
+		ccrs := []float64{0.1, 0.5, 1, 5}
+		if cfg.Quick {
+			points = []int{8, 16}
+			ccrs = []float64{0.1, 5}
+		}
+		t1 := &Table{ID: "E7a", Title: "FFT: average SLR vs input points (P=8)", Columns: append([]string{"points"}, names(algs)...)}
+		for i, n := range points {
+			g, err := workload.FFT(n)
+			if err != nil {
+				return nil, err
+			}
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(100*i)+71, appGen(g, 8, 1, 1), slr, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t1.Rows = append(t1.Rows, fmtRow(fmt.Sprintf("%d", n), accs))
+		}
+		t2 := &Table{ID: "E7b", Title: "FFT: average SLR vs CCR (32 points, P=8)", Columns: append([]string{"CCR"}, names(algs)...)}
+		g32, err := workload.FFT(32)
+		if err != nil {
+			return nil, err
+		}
+		for i, c := range ccrs {
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(100*i)+72, appGen(g32, 8, c, 1), slr, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t2.Rows = append(t2.Rows, fmtRow(fmt.Sprintf("%g", c), accs))
+		}
+		return []*Table{t1, t2}, nil
+	}}
+}
+
+// E8 — Laplace wavefront: SLR vs grid size.
+func E8() Experiment {
+	return Experiment{ID: "E8", Title: "Laplace (SLR vs grid size)", Run: func(cfg Config) ([]*Table, error) {
+		algs := suite.Heterogeneous()
+		reps := cfg.reps(25)
+		grids := []int{4, 6, 8, 10, 12}
+		if cfg.Quick {
+			grids = []int{4, 8}
+		}
+		t := &Table{ID: "E8", Title: "Laplace: average SLR vs grid size (P=8)", Columns: append([]string{"grid"}, names(algs)...)}
+		for i, gsz := range grids {
+			g, err := workload.Laplace(gsz)
+			if err != nil {
+				return nil, err
+			}
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(100*i)+81, appGen(g, 8, 1, 1), slr, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, fmtRow(fmt.Sprintf("%d", gsz), accs))
+		}
+		t.Notes = fmt.Sprintf("Mean SLR over %d cost-matrix draws per point, CCR=1, β=1.", reps)
+		return []*Table{t}, nil
+	}}
+}

@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/algo/contention"
+	"dagsched/internal/algo/listsched"
+	"dagsched/internal/algo/search"
+	"dagsched/internal/algo/suite"
+	"dagsched/internal/core"
+	"dagsched/internal/metrics"
+	"dagsched/internal/sim"
+)
+
+// E14 — extended heterogeneous lineup: ILS against the wider 2000s field
+// (HCPT, PETS, LMT) in addition to HEFT, across CCR.
+func E14() Experiment {
+	return Experiment{ID: "E14", Title: "Extended lineup: ILS vs HCPT/PETS/LMT (SLR vs CCR)", Run: func(cfg Config) ([]*Table, error) {
+		algs := []algo.Algorithm{
+			core.New(),
+			listsched.HEFT{},
+			listsched.HCPT{},
+			listsched.PETS{},
+			listsched.LMT{},
+		}
+		reps := cfg.reps(25)
+		ccrs := []float64{0.1, 1, 5, 10}
+		if cfg.Quick {
+			ccrs = []float64{0.1, 5}
+		}
+		t := &Table{ID: "E14", Title: "Extended lineup: average SLR vs CCR (n=60, P=8, β=1)",
+			Columns: append([]string{"CCR"}, names(algs)...)}
+		for i, c := range ccrs {
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(100*i)+1401, randGen(randParams{ccr: c}), slr, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, fmtRow(fmt.Sprintf("%g", c), accs))
+		}
+		t.Notes = fmt.Sprintf("Mean SLR over %d random DAGs per point.", reps)
+		return []*Table{t}, nil
+	}}
+}
+
+// E15 — guided random search vs list scheduling: solution quality and
+// scheduling cost of GA/SA/HC against HEFT and ILS.
+func E15() Experiment {
+	return Experiment{ID: "E15", Title: "Search-based vs list scheduling (quality and cost)", Run: func(cfg Config) ([]*Table, error) {
+		algs := []algo.Algorithm{
+			listsched.HEFT{},
+			core.New(),
+			search.HillClimb{Iters: 500},
+			search.Anneal{Iters: 800},
+			search.Genetic{Pop: 16, Gens: 25},
+		}
+		reps := cfg.reps(15)
+		sizes := []int{20, 40}
+		if cfg.Quick {
+			sizes = []int{20}
+		}
+		t1 := &Table{ID: "E15a", Title: "Search vs list: mean SLR (P=8, CCR=1, β=1)",
+			Columns: append([]string{"n"}, names(algs)...)}
+		t2 := &Table{ID: "E15b", Title: "Search vs list: mean scheduling time (ms)",
+			Columns: append([]string{"n"}, names(algs)...)}
+		rng := rand.New(rand.NewSource(cfg.Seed + 1500))
+		for _, n := range sizes {
+			slrs := make([]*metrics.Accumulator, len(algs))
+			times := make([]*metrics.Accumulator, len(algs))
+			for i := range slrs {
+				slrs[i] = &metrics.Accumulator{}
+				times[i] = &metrics.Accumulator{}
+			}
+			for r := 0; r < reps; r++ {
+				in, err := randGen(randParams{n: n})(rng)
+				if err != nil {
+					return nil, err
+				}
+				for i, a := range algs {
+					start := time.Now()
+					res, err := metrics.Evaluate(a, in)
+					if err != nil {
+						return nil, err
+					}
+					slrs[i].Add(res.SLR)
+					times[i].Add(float64(time.Since(start).Microseconds()) / 1000)
+				}
+			}
+			t1.Rows = append(t1.Rows, fmtRow(fmt.Sprintf("%d", n), slrs))
+			t2.Rows = append(t2.Rows, fmtRow(fmt.Sprintf("%d", n), times))
+		}
+		t1.Notes = "All searches are seeded from HEFT, so they can only improve on it; the question is by how much and at what cost (see E15b)."
+		return []*Table{t1, t2}, nil
+	}}
+}
+
+// E16 — network contention: replayed stretch under the one-port model.
+// Scheduling assumes contention-free links; the replay measures how
+// optimistic each algorithm's schedule is when transfers serialize.
+func E16() Experiment {
+	return Experiment{ID: "E16", Title: "One-port contention: replayed stretch", Run: func(cfg Config) ([]*Table, error) {
+		algs := append(suite.Heterogeneous(), contention.CHEFT{})
+		reps := cfg.reps(25)
+		ccrs := []float64{0.1, 1, 5}
+		if cfg.Quick {
+			ccrs = []float64{1}
+		}
+		t := &Table{ID: "E16", Title: "Mean one-port contention stretch vs CCR (n=60, P=8, β=1)",
+			Columns: append([]string{"CCR"}, names(algs)...)}
+		for i, c := range ccrs {
+			c := c
+			rows, err := parallelReps(reps, cfg.Workers, cfg.Seed+1600+int64(i), func(rep int, rng *rand.Rand) ([]float64, error) {
+				in, err := randGen(randParams{ccr: c})(rng)
+				if err != nil {
+					return nil, err
+				}
+				row := make([]float64, len(algs))
+				for k, a := range algs {
+					s, err := a.Schedule(in)
+					if err != nil {
+						return nil, err
+					}
+					r, err := sim.Run(s, sim.Config{Contention: true})
+					if err != nil {
+						return nil, err
+					}
+					row[k] = r.Stretch
+				}
+				return row, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			accs := make([]*metrics.Accumulator, len(algs))
+			for k := range accs {
+				accs[k] = &metrics.Accumulator{}
+			}
+			for _, row := range rows {
+				for k, v := range row {
+					accs[k].Add(v)
+				}
+			}
+			t.Rows = append(t.Rows, fmtRow(fmt.Sprintf("%g", c), accs))
+		}
+		t.Notes = "Stretch = one-port replayed makespan / contention-free analytic makespan (1.0 = schedule unaffected by port serialization)."
+		return []*Table{t}, nil
+	}}
+}

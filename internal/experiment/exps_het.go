@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dagsched/internal/algo/suite"
+	"dagsched/internal/sched"
+	"dagsched/internal/workload"
+)
+
+// randParams are the design-point knobs of the random-DAG experiments;
+// zero fields take the literature defaults (n 60, 8 procs, out-degree 4,
+// shape 1, CCR 1, β 1).
+type randParams struct {
+	n, procs, outdeg int
+	shape, ccr, beta float64
+}
+
+func (p randParams) withDefaults() randParams {
+	if p.n == 0 {
+		p.n = 60
+	}
+	if p.procs == 0 {
+		p.procs = 8
+	}
+	if p.outdeg == 0 {
+		p.outdeg = 4
+	}
+	if p.shape == 0 {
+		p.shape = 1
+	}
+	if p.ccr == 0 {
+		p.ccr = 1
+	}
+	// beta 0 takes the default 1; a negative beta explicitly requests a
+	// homogeneous cost matrix (β = 0).
+	switch {
+	case p.beta == 0:
+		p.beta = 1
+	case p.beta < 0:
+		p.beta = 0
+	}
+	return p
+}
+
+func randGen(p randParams) genFunc {
+	p = p.withDefaults()
+	return func(rng *rand.Rand) (*sched.Instance, error) {
+		g, err := workload.Random(workload.RandomConfig{N: p.n, Shape: p.shape, OutDegree: p.outdeg}, rng)
+		if err != nil {
+			return nil, err
+		}
+		return workload.MakeInstance(g, workload.HetConfig{Procs: p.procs, CCR: p.ccr, Beta: p.beta}, rng)
+	}
+}
+
+// sweepSLR renders one table: rows sweep a labeled parameter, columns are
+// the heterogeneous lineup's mean SLRs.
+func sweepSLR(id, title, param string, cfg Config, points []float64, mk func(v float64) randParams) (*Table, error) {
+	algs := suite.Heterogeneous()
+	t := &Table{ID: id, Title: title, Columns: append([]string{param}, names(algs)...)}
+	reps := cfg.reps(25)
+	for i, v := range points {
+		accs, err := meanOver(algs, reps, cfg.Seed+int64(1000*i)+1, randGen(mk(v)), slr, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, fmtRow(fmt.Sprintf("%g", v), accs))
+	}
+	t.Notes = fmt.Sprintf("Mean SLR over %d random DAGs per point (lower is better).", reps)
+	return t, nil
+}
+
+// E1 — average SLR as a function of DAG size on heterogeneous systems.
+func E1() Experiment {
+	return Experiment{ID: "E1", Title: "Average SLR vs DAG size (heterogeneous)", Run: func(cfg Config) ([]*Table, error) {
+		points := []float64{20, 40, 60, 80, 100}
+		if cfg.Quick {
+			points = []float64{20, 60}
+		}
+		t, err := sweepSLR("E1", "Average SLR vs DAG size", "n", cfg, points, func(v float64) randParams {
+			return randParams{n: int(v)}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}}
+}
+
+// E2 — average SLR as a function of CCR.
+func E2() Experiment {
+	return Experiment{ID: "E2", Title: "Average SLR vs CCR (heterogeneous)", Run: func(cfg Config) ([]*Table, error) {
+		points := []float64{0.1, 0.5, 1, 5, 10}
+		if cfg.Quick {
+			points = []float64{0.1, 10}
+		}
+		t, err := sweepSLR("E2", "Average SLR vs CCR", "CCR", cfg, points, func(v float64) randParams {
+			return randParams{ccr: v}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}}
+}
+
+// E3 — average speedup as a function of processor count.
+func E3() Experiment {
+	return Experiment{ID: "E3", Title: "Average speedup vs processor count", Run: func(cfg Config) ([]*Table, error) {
+		points := []int{2, 4, 8, 16, 32}
+		if cfg.Quick {
+			points = []int{2, 8}
+		}
+		algs := suite.Heterogeneous()
+		t := &Table{ID: "E3", Title: "Average speedup vs processor count", Columns: append([]string{"P"}, names(algs)...)}
+		reps := cfg.reps(25)
+		for i, p := range points {
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(1000*i)+31, randGen(randParams{procs: p}), speedup, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, fmtRow(fmt.Sprintf("%d", p), accs))
+		}
+		t.Notes = fmt.Sprintf("Mean speedup over %d random DAGs per point (higher is better).", reps)
+		return []*Table{t}, nil
+	}}
+}
+
+// E4 — average SLR as a function of the cost-matrix heterogeneity β.
+func E4() Experiment {
+	return Experiment{ID: "E4", Title: "Average SLR vs heterogeneity β", Run: func(cfg Config) ([]*Table, error) {
+		points := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+		if cfg.Quick {
+			points = []float64{0.1, 1.0}
+		}
+		t, err := sweepSLR("E4", "Average SLR vs heterogeneity β", "beta", cfg, points, func(v float64) randParams {
+			return randParams{beta: v}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}}
+}
+
+// E5 — average SLR as a function of the shape parameter α.
+func E5() Experiment {
+	return Experiment{ID: "E5", Title: "Average SLR vs shape α", Run: func(cfg Config) ([]*Table, error) {
+		points := []float64{0.5, 1.0, 2.0}
+		if cfg.Quick {
+			points = []float64{0.5, 2.0}
+		}
+		t, err := sweepSLR("E5", "Average SLR vs shape α", "alpha", cfg, points, func(v float64) randParams {
+			return randParams{shape: v}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []*Table{t}, nil
+	}}
+}

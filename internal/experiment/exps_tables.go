@@ -1,0 +1,289 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/algo/exact"
+	"dagsched/internal/algo/suite"
+	"dagsched/internal/core"
+	"dagsched/internal/metrics"
+	"dagsched/internal/sim"
+)
+
+// E9 — pairwise win/tie/loss of ILS against every competitor over a large
+// batch of mixed random DAGs.
+func E9() Experiment {
+	return Experiment{ID: "E9", Title: "Win/tie/loss of ILS vs competitors (random DAGs)", Run: func(cfg Config) ([]*Table, error) {
+		reps := cfg.reps(250)
+		ref := core.New()
+		competitors := []algo.Algorithm{}
+		for _, a := range suite.Heterogeneous() {
+			if a.Name() != ref.Name() {
+				competitors = append(competitors, a)
+			}
+		}
+		w := metrics.NewWTL(ref.Name(), names(competitors), 1e-9)
+		sizes := []int{20, 40, 60, 80, 100}
+		ccrs := []float64{0.1, 0.5, 1, 5, 10}
+		rows, err := parallelReps(reps, cfg.Workers, cfg.Seed+900, func(rep int, rng *rand.Rand) ([]float64, error) {
+			p := randParams{
+				n:   sizes[rng.Intn(len(sizes))],
+				ccr: ccrs[rng.Intn(len(ccrs))],
+			}
+			in, err := randGen(p)(rng)
+			if err != nil {
+				return nil, err
+			}
+			makespans := make([]float64, len(competitors)+1)
+			refRes, err := metrics.Evaluate(ref, in)
+			if err != nil {
+				return nil, err
+			}
+			makespans[0] = refRes.Makespan
+			for i, c := range competitors {
+				res, err := metrics.Evaluate(c, in)
+				if err != nil {
+					return nil, err
+				}
+				makespans[i+1] = res.Makespan
+			}
+			return makespans, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, ms := range rows {
+			for i, c := range competitors {
+				if err := w.Record(c.Name(), ms[0], ms[i+1]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		t := &Table{ID: "E9", Title: fmt.Sprintf("ILS vs competitors over %d random DAGs", reps),
+			Columns: []string{"competitor", "better(%)", "equal(%)", "worse(%)"}}
+		for _, c := range w.Competitors() {
+			win, tie, loss, err := w.Percent(c)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{c,
+				fmt.Sprintf("%.1f", win), fmt.Sprintf("%.1f", tie), fmt.Sprintf("%.1f", loss)})
+		}
+		t.Notes = "Share of instances on which ILS produced a shorter/equal/longer makespan."
+		return []*Table{t}, nil
+	}}
+}
+
+// E10 — homogeneous comparison: average NSL (SLR on a homogeneous system)
+// vs DAG size and vs CCR, against the classic homogeneous lineup.
+func E10() Experiment {
+	return Experiment{ID: "E10", Title: "Homogeneous systems: NSL vs size and CCR", Run: func(cfg Config) ([]*Table, error) {
+		algs := suite.Homogeneous()
+		reps := cfg.reps(25)
+		sizes := []float64{20, 40, 60, 80, 100}
+		ccrs := []float64{0.1, 1, 10}
+		if cfg.Quick {
+			sizes = []float64{20, 60}
+			ccrs = []float64{0.1, 10}
+		}
+		t1 := &Table{ID: "E10a", Title: "Homogeneous: average NSL vs DAG size (P=8, CCR=1)", Columns: append([]string{"n"}, names(algs)...)}
+		for i, n := range sizes {
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(100*i)+1001,
+				randGen(randParams{n: int(n), beta: -1}), slr, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t1.Rows = append(t1.Rows, fmtRow(fmt.Sprintf("%g", n), accs))
+		}
+		t1.Notes = fmt.Sprintf("β=0 (identical processors); mean over %d DAGs per point.", reps)
+		t2 := &Table{ID: "E10b", Title: "Homogeneous: average NSL vs CCR (n=60, P=8)", Columns: append([]string{"CCR"}, names(algs)...)}
+		for i, c := range ccrs {
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(100*i)+1002,
+				randGen(randParams{ccr: c, beta: -1}), slr, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t2.Rows = append(t2.Rows, fmtRow(fmt.Sprintf("%g", c), accs))
+		}
+		return []*Table{t1, t2}, nil
+	}}
+}
+
+// E11 — ablation of the three ILS mechanisms: the full 2³ grid.
+func E11() Experiment {
+	return Experiment{ID: "E11", Title: "Ablation of ILS mechanisms (2³ grid)", Run: func(cfg Config) ([]*Table, error) {
+		var algs []algo.Algorithm
+		for _, c := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"HEFT(base)", core.Options{}},
+			{"+σ", core.Options{SigmaRank: true}},
+			{"+look", core.Options{Lookahead: true}},
+			{"+dup", core.Options{Duplication: true}},
+			{"+σ+look", core.Options{SigmaRank: true, Lookahead: true}},
+			{"+σ+dup", core.Options{SigmaRank: true, Duplication: true}},
+			{"+look+dup", core.Options{Lookahead: true, Duplication: true}},
+			{"ILS(all)", core.Options{SigmaRank: true, Lookahead: true, Duplication: true}},
+		} {
+			algs = append(algs, core.Variant(c.name, c.opts))
+		}
+		reps := cfg.reps(25)
+		ccrs := []float64{0.5, 1, 5}
+		if cfg.Quick {
+			ccrs = []float64{1}
+		}
+		t := &Table{ID: "E11", Title: "Ablation: mean SLR per mechanism combination", Columns: append([]string{"CCR"}, names(algs)...)}
+		for i, c := range ccrs {
+			accs, err := meanOver(algs, reps, cfg.Seed+int64(100*i)+1101, randGen(randParams{ccr: c}), slr, cfg.Workers)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, fmtRow(fmt.Sprintf("%g", c), accs))
+		}
+		t.Notes = "Rows sweep CCR; n=60, P=8, β=1. σ = σ-augmented rank, look = child lookahead, dup = critical-parent duplication."
+		return []*Table{t}, nil
+	}}
+}
+
+// E12 — optimality gap on small DAGs (vs branch-and-bound) and scheduling
+// running times on large DAGs.
+func E12() Experiment {
+	return Experiment{ID: "E12", Title: "Optimality gap and running time", Run: func(cfg Config) ([]*Table, error) {
+		gapAlgs := suite.Heterogeneous()
+		reps := cfg.reps(25)
+		sizes := []int{6, 8, 10}
+		if cfg.Quick {
+			sizes = []int{6}
+		}
+		t1 := &Table{ID: "E12a", Title: "Mean makespan ratio to the optimum (P=3)", Columns: append([]string{"n"}, names(gapAlgs)...)}
+		for si, n := range sizes {
+			n := n
+			rows, err := parallelReps(reps, cfg.Workers, cfg.Seed+1200+int64(si), func(rep int, rng *rand.Rand) ([]float64, error) {
+				in, err := randGen(randParams{n: n, procs: 3})(rng)
+				if err != nil {
+					return nil, err
+				}
+				opt, err := exact.BnB{}.Schedule(in)
+				if err != nil && !errors.Is(err, exact.ErrBudget) {
+					return nil, err
+				}
+				row := make([]float64, len(gapAlgs))
+				for i, a := range gapAlgs {
+					s, err := a.Schedule(in)
+					if err != nil {
+						return nil, err
+					}
+					row[i] = s.Makespan() / opt.Makespan()
+				}
+				return row, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			ratios := make([]*metrics.Accumulator, len(gapAlgs))
+			for i := range ratios {
+				ratios[i] = &metrics.Accumulator{}
+			}
+			for _, row := range rows {
+				for i, v := range row {
+					ratios[i].Add(v)
+				}
+			}
+			t1.Rows = append(t1.Rows, fmtRow(fmt.Sprintf("%d", n), ratios))
+		}
+		t1.Notes = "Ratio 1.000 means the heuristic found an optimal schedule; duplication can push below 1."
+
+		// Running-time table.
+		rtAlgs := suite.All()
+		rtSizes := []int{50, 100, 200}
+		rtReps := cfg.reps(10)
+		if cfg.Quick {
+			rtSizes = []int{50}
+		}
+		t2 := &Table{ID: "E12b", Title: "Mean scheduling time (ms, P=8)", Columns: append([]string{"n"}, names(rtAlgs)...)}
+		// Timing stays sequential: parallel workers would contend for
+		// cores and skew the wall-clock measurements.
+		rng := rand.New(rand.NewSource(cfg.Seed + 1250))
+		for _, n := range rtSizes {
+			times := make([]*metrics.Accumulator, len(rtAlgs))
+			for i := range times {
+				times[i] = &metrics.Accumulator{}
+			}
+			for r := 0; r < rtReps; r++ {
+				in, err := randGen(randParams{n: n})(rng)
+				if err != nil {
+					return nil, err
+				}
+				for i, a := range rtAlgs {
+					start := time.Now()
+					if _, err := a.Schedule(in); err != nil {
+						return nil, err
+					}
+					times[i].Add(float64(time.Since(start).Microseconds()) / 1000)
+				}
+			}
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, acc := range times {
+				row = append(row, fmt.Sprintf("%.3f", acc.Mean()))
+			}
+			t2.Rows = append(t2.Rows, row)
+		}
+		return []*Table{t1, t2}, nil
+	}}
+}
+
+// E13 — robustness: replayed-makespan stretch under runtime execution-time
+// noise (extension experiment using the event simulator).
+func E13() Experiment {
+	return Experiment{ID: "E13", Title: "Robustness to runtime noise (replayed stretch)", Run: func(cfg Config) ([]*Table, error) {
+		algs := suite.Heterogeneous()
+		reps := cfg.reps(25)
+		noises := []float64{0.1, 0.2, 0.4}
+		if cfg.Quick {
+			noises = []float64{0.2}
+		}
+		t := &Table{ID: "E13", Title: "Mean replayed makespan stretch vs noise", Columns: append([]string{"noise"}, names(algs)...)}
+		for i, noise := range noises {
+			noise := noise
+			rows, err := parallelReps(reps, cfg.Workers, cfg.Seed+1300+int64(i), func(rep int, rng *rand.Rand) ([]float64, error) {
+				in, err := randGen(randParams{})(rng)
+				if err != nil {
+					return nil, err
+				}
+				row := make([]float64, len(algs))
+				for k, a := range algs {
+					s, err := a.Schedule(in)
+					if err != nil {
+						return nil, err
+					}
+					r, err := sim.Run(s, sim.Config{Noise: noise, Seed: int64(rep)})
+					if err != nil {
+						return nil, err
+					}
+					row[k] = r.Stretch
+				}
+				return row, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			accs := make([]*metrics.Accumulator, len(algs))
+			for k := range accs {
+				accs[k] = &metrics.Accumulator{}
+			}
+			for _, row := range rows {
+				for k, v := range row {
+					accs[k].Add(v)
+				}
+			}
+			t.Rows = append(t.Rows, fmtRow(fmt.Sprintf("%g", noise), accs))
+		}
+		t.Notes = "Stretch = replayed makespan / analytic makespan; n=60, P=8, CCR=1, β=1."
+		return []*Table{t}, nil
+	}}
+}

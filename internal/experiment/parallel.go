@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// parallelReps evaluates fn for every repetition index on a bounded worker
+// pool and returns the per-rep results in index order. Each repetition
+// receives its own rand.Rand derived from (seed, rep), so results are
+// bit-for-bit identical regardless of the worker count — parallelism
+// changes wall-clock time only, never the tables.
+func parallelReps[T any](reps, workers int, seed int64, fn func(rep int, rng *rand.Rand) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	results := make([]T, reps)
+	errs := make([]error, reps)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range jobs {
+				// A large odd stride decorrelates neighbouring streams.
+				rng := rand.New(rand.NewSource(seed + int64(rep)*0x9E3779B1 + 1))
+				results[rep], errs[rep] = fn(rep, rng)
+			}
+		}()
+	}
+	for rep := 0; rep < reps; rep++ {
+		jobs <- rep
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

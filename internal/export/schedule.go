@@ -1,0 +1,128 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"dagsched/internal/sched"
+)
+
+// scheduleJSON is the stable on-disk form of a schedule.
+type scheduleJSON struct {
+	Algorithm   string           `json:"algorithm"`
+	Makespan    float64          `json:"makespan"`
+	Processors  int              `json:"processors"`
+	Tasks       int              `json:"tasks"`
+	Duplicates  int              `json:"duplicates"`
+	Assignments []assignmentJSON `json:"assignments"`
+}
+
+type assignmentJSON struct {
+	Task   int     `json:"task"`
+	Name   string  `json:"name,omitempty"`
+	Proc   int     `json:"proc"`
+	Start  float64 `json:"start"`
+	Finish float64 `json:"finish"`
+	Dup    bool    `json:"dup,omitempty"`
+}
+
+// WriteScheduleJSON writes the schedule as indented JSON with one record
+// per task copy, ordered by (processor, start).
+func WriteScheduleJSON(w io.Writer, s *sched.Schedule) error {
+	in := s.Instance()
+	out := scheduleJSON{
+		Algorithm:  s.Algorithm(),
+		Makespan:   s.Makespan(),
+		Processors: in.P(),
+		Tasks:      in.N(),
+		Duplicates: s.NumDuplicates(),
+	}
+	for p := 0; p < in.P(); p++ {
+		for _, a := range s.OnProc(p) {
+			out.Assignments = append(out.Assignments, assignmentJSON{
+				Task:   int(a.Task),
+				Name:   in.G.Task(a.Task).Name,
+				Proc:   a.Proc,
+				Start:  a.Start,
+				Finish: a.Finish,
+				Dup:    a.Dup,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteChromeTrace writes the schedule in the Chrome trace-event format
+// (load via chrome://tracing or https://ui.perfetto.dev). Each processor
+// becomes a thread lane, each task copy a complete ("X") event; times are
+// interpreted as microseconds.
+func WriteChromeTrace(w io.Writer, s *sched.Schedule) error {
+	in := s.Instance()
+	type event struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		Ts   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		PID  int               `json:"pid"`
+		TID  int               `json:"tid"`
+		Args map[string]string `json:"args,omitempty"`
+	}
+	var events []event
+	for p := 0; p < in.P(); p++ {
+		for _, a := range s.OnProc(p) {
+			cat := "task"
+			if a.Dup {
+				cat = "duplicate"
+			}
+			events = append(events, event{
+				Name: in.G.Task(a.Task).Name,
+				Cat:  cat,
+				Ph:   "X",
+				Ts:   a.Start,
+				Dur:  a.Duration(),
+				PID:  1,
+				TID:  p,
+				Args: map[string]string{
+					"task": fmt.Sprintf("%d", a.Task),
+					"dup":  fmt.Sprintf("%v", a.Dup),
+				},
+			})
+		}
+	}
+	wrapper := struct {
+		TraceEvents []event `json:"traceEvents"`
+		DisplayUnit string  `json:"displayTimeUnit"`
+	}{events, "ms"}
+	data, err := json.MarshalIndent(wrapper, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadScheduleSummary decodes only the summary header fields of a
+// schedule written by WriteScheduleJSON — algorithm, makespan, processor
+// and copy counts — for tooling that lists archives without needing the
+// original instance.
+func ReadScheduleSummary(r io.Reader) (algorithm string, makespan float64, procs, copies int, err error) {
+	var sj scheduleJSON
+	if err = json.NewDecoder(r).Decode(&sj); err != nil {
+		return "", 0, 0, 0, fmt.Errorf("export: decoding schedule: %w", err)
+	}
+	if sj.Algorithm == "" || sj.Makespan < 0 || sj.Processors <= 0 {
+		return "", 0, 0, 0, fmt.Errorf("export: implausible schedule header %q/%g/%d", sj.Algorithm, sj.Makespan, sj.Processors)
+	}
+	return sj.Algorithm, sj.Makespan, sj.Processors, len(sj.Assignments), nil
+}
+
+// TraceContainsLane is a test helper: reports whether the serialized
+// trace mentions the given thread lane id.
+func TraceContainsLane(trace string, lane int) bool {
+	return strings.Contains(trace, fmt.Sprintf(`"tid": %d`, lane))
+}

@@ -1,0 +1,136 @@
+// Package metrics computes the evaluation measures of the static-
+// scheduling literature — schedule length ratio (SLR), speedup,
+// efficiency — plus summary statistics and the pairwise win/tie/loss
+// comparison used in the experiment tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/sched"
+)
+
+// SLR returns the schedule length ratio: makespan divided by the sum of
+// minimum execution costs along the critical path (the standard lower
+// bound). SLR >= 1 always; smaller is better.
+func SLR(s *sched.Schedule) float64 {
+	lb := s.Instance().CPMin()
+	if lb == 0 {
+		return 1
+	}
+	return s.Makespan() / lb
+}
+
+// Speedup returns the ratio of the best single-processor execution time to
+// the schedule's makespan.
+func Speedup(s *sched.Schedule) float64 {
+	if s.Makespan() == 0 {
+		return 1
+	}
+	return s.Instance().SeqTime() / s.Makespan()
+}
+
+// Efficiency returns Speedup divided by the processor count.
+func Efficiency(s *sched.Schedule) float64 {
+	return Speedup(s) / float64(s.Instance().P())
+}
+
+// Result bundles the measures of one algorithm run.
+type Result struct {
+	Algorithm  string
+	Makespan   float64
+	SLR        float64
+	Speedup    float64
+	Efficiency float64
+	Duplicates int
+	RunTime    time.Duration
+}
+
+// Evaluate runs the algorithm on the instance, validates the schedule and
+// returns its measures.
+func Evaluate(a algo.Algorithm, in *sched.Instance) (Result, error) {
+	start := time.Now()
+	s, err := a.Schedule(in)
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, fmt.Errorf("metrics: %s failed: %w", a.Name(), err)
+	}
+	if err := s.Validate(); err != nil {
+		return Result{}, fmt.Errorf("metrics: %s produced an invalid schedule: %w", a.Name(), err)
+	}
+	return Result{
+		Algorithm:  a.Name(),
+		Makespan:   s.Makespan(),
+		SLR:        SLR(s),
+		Speedup:    Speedup(s),
+		Efficiency: Efficiency(s),
+		Duplicates: s.NumDuplicates(),
+		RunTime:    elapsed,
+	}, nil
+}
+
+// Accumulator collects a stream of float64 samples and reports summary
+// statistics. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	sum  float64
+	sum2 float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 || x < a.min {
+		a.min = x
+	}
+	if a.n == 0 || x > a.max {
+		a.max = x
+	}
+	a.n++
+	a.sum += x
+	a.sum2 += x * x
+}
+
+// N returns the sample count.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator; 0 for
+// fewer than two samples).
+func (a *Accumulator) StdDev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := (a.sum2 - float64(a.n)*m*m) / float64(a.n-1)
+	if v < 0 {
+		v = 0 // floating-point dust on constant streams
+	}
+	return math.Sqrt(v)
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Min and Max return the extreme samples (0 with no samples).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample.
+func (a *Accumulator) Max() float64 { return a.max }

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// samples is a bounded random sample vector for quick tests.
+type samples []float64
+
+// Generate implements quick.Generator with finite, bounded values.
+func (samples) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(60)
+	s := make(samples, n)
+	for i := range s {
+		s[i] = (r.Float64() - 0.5) * 1e4
+	}
+	return reflect.ValueOf(s)
+}
+
+// naive mean/stddev for cross-checking the streaming accumulator.
+func naiveStats(s []float64) (mean, std float64) {
+	for _, x := range s {
+		mean += x
+	}
+	mean /= float64(len(s))
+	if len(s) < 2 {
+		return mean, 0
+	}
+	var v float64
+	for _, x := range s {
+		v += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(v / float64(len(s)-1))
+}
+
+// Property: the streaming Accumulator agrees with the two-pass formulas.
+func TestQuickAccumulatorMatchesNaive(t *testing.T) {
+	f := func(s samples) bool {
+		var a Accumulator
+		for _, x := range s {
+			a.Add(x)
+		}
+		mean, std := naiveStats(s)
+		if math.Abs(a.Mean()-mean) > 1e-6*(1+math.Abs(mean)) {
+			return false
+		}
+		if math.Abs(a.StdDev()-std) > 1e-5*(1+std) {
+			return false
+		}
+		sorted := append([]float64(nil), s...)
+		sort.Float64s(sorted)
+		return a.Min() == sorted[0] && a.Max() == sorted[len(sorted)-1] && a.N() == len(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: win/tie/loss percentages always total 100 (or 0 when empty)
+// and counts total the number of records.
+func TestQuickWTLConservation(t *testing.T) {
+	f := func(seed int64, records uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWTL("ref", []string{"a", "b"}, 0)
+		n := int(records)
+		for i := 0; i < n; i++ {
+			comp := []string{"a", "b"}[rng.Intn(2)]
+			if err := w.Record(comp, rng.Float64(), rng.Float64()); err != nil {
+				return false
+			}
+		}
+		total := 0
+		for _, c := range w.Competitors() {
+			ws, ts, ls, err := w.Counts(c)
+			if err != nil {
+				return false
+			}
+			total += ws + ts + ls
+			winP, tieP, lossP, err := w.Percent(c)
+			if err != nil {
+				return false
+			}
+			sum := winP + tieP + lossP
+			if ws+ts+ls == 0 {
+				if sum != 0 {
+					return false
+				}
+			} else if math.Abs(sum-100) > 1e-9 {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

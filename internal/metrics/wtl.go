@@ -1,0 +1,85 @@
+package metrics
+
+import "fmt"
+
+// WTL accumulates pairwise win/tie/loss counts of one reference algorithm
+// against a set of competitors — the "better / equal / worse" occurrence
+// tables of the literature.
+type WTL struct {
+	Reference string
+	names     []string
+	idx       map[string]int
+	wins      []int
+	ties      []int
+	losses    []int
+	eps       float64
+}
+
+// NewWTL returns a comparison of reference against the competitors. eps is
+// the tie tolerance on makespans (1e-9 if zero).
+func NewWTL(reference string, competitors []string, eps float64) *WTL {
+	if eps == 0 {
+		eps = 1e-9
+	}
+	w := &WTL{
+		Reference: reference,
+		names:     append([]string(nil), competitors...),
+		idx:       make(map[string]int, len(competitors)),
+		wins:      make([]int, len(competitors)),
+		ties:      make([]int, len(competitors)),
+		losses:    make([]int, len(competitors)),
+		eps:       eps,
+	}
+	for i, n := range competitors {
+		w.idx[n] = i
+	}
+	return w
+}
+
+// Record compares the reference makespan against one competitor's makespan
+// on the same instance. Unknown competitor names are an error.
+func (w *WTL) Record(competitor string, refMakespan, compMakespan float64) error {
+	i, ok := w.idx[competitor]
+	if !ok {
+		return fmt.Errorf("metrics: unknown competitor %q", competitor)
+	}
+	switch {
+	case refMakespan < compMakespan-w.eps:
+		w.wins[i]++
+	case refMakespan > compMakespan+w.eps:
+		w.losses[i]++
+	default:
+		w.ties[i]++
+	}
+	return nil
+}
+
+// Competitors returns the competitor names in registration order.
+func (w *WTL) Competitors() []string {
+	return append([]string(nil), w.names...)
+}
+
+// Counts returns (wins, ties, losses) of the reference against the named
+// competitor.
+func (w *WTL) Counts(competitor string) (wins, ties, losses int, err error) {
+	i, ok := w.idx[competitor]
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("metrics: unknown competitor %q", competitor)
+	}
+	return w.wins[i], w.ties[i], w.losses[i], nil
+}
+
+// Percent returns the win/tie/loss shares in percent against the named
+// competitor (0s when no samples were recorded).
+func (w *WTL) Percent(competitor string) (win, tie, loss float64, err error) {
+	ws, ts, ls, err := w.Counts(competitor)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	total := ws + ts + ls
+	if total == 0 {
+		return 0, 0, 0, nil
+	}
+	f := 100 / float64(total)
+	return float64(ws) * f, float64(ts) * f, float64(ls) * f, nil
+}

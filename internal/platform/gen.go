@@ -1,0 +1,39 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig parameterizes random system generation for experiments.
+type GenConfig struct {
+	// Procs is the processor count (required, >= 1).
+	Procs int
+	// SpeedHeterogeneity spreads processor speeds uniformly over
+	// [1-h/2, 1+h/2]; 0 yields a homogeneous unit-speed system. Must lie
+	// in [0, 2).
+	SpeedHeterogeneity float64
+	// Latency and TimePerUnit configure every link, as in Config.
+	Latency     float64
+	TimePerUnit float64
+}
+
+// Generate draws a System from cfg using rng. The draw is deterministic
+// for a fixed seed.
+func Generate(cfg GenConfig, rng *rand.Rand) (*System, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("platform: invalid processor count %d", cfg.Procs)
+	}
+	if cfg.SpeedHeterogeneity < 0 || cfg.SpeedHeterogeneity >= 2 {
+		return nil, fmt.Errorf("platform: speed heterogeneity %g out of [0,2)", cfg.SpeedHeterogeneity)
+	}
+	speeds := make([]float64, cfg.Procs)
+	for i := range speeds {
+		if cfg.SpeedHeterogeneity == 0 {
+			speeds[i] = 1
+		} else {
+			speeds[i] = 1 + cfg.SpeedHeterogeneity*(rng.Float64()-0.5)
+		}
+	}
+	return New(Config{Speeds: speeds, Latency: cfg.Latency, TimePerUnit: cfg.TimePerUnit})
+}

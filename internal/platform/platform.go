@@ -1,0 +1,194 @@
+// Package platform models the target computing system: a set of (possibly
+// heterogeneous) processors connected by a network with per-link startup
+// latency and transfer rate. Processors are fully connected, the standard
+// assumption of the static-scheduling literature; communication between
+// two tasks placed on the same processor is free.
+package platform
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Processor is one processing element. Speed is relative to a reference
+// processor of speed 1.0: a task of nominal weight w takes w/Speed time
+// under the "consistent" (related-machines) cost model.
+type Processor struct {
+	ID    int
+	Name  string
+	Speed float64
+}
+
+// System is an immutable description of the target machine.
+type System struct {
+	procs   []Processor
+	startup [][]float64 // startup[p][q]: per-message latency, 0 on diagonal
+	invRate [][]float64 // invRate[p][q]: time per data unit, 0 on diagonal
+}
+
+// Config collects the options accepted by New.
+type Config struct {
+	// Speeds gives the relative speed of each processor; its length sets
+	// the processor count. Every entry must be positive.
+	Speeds []float64
+	// Latency is the per-message startup cost applied to every distinct
+	// processor pair (default 0).
+	Latency float64
+	// TimePerUnit is the transfer time of one data unit between every
+	// distinct pair (default 1). A value of 0 models infinitely fast links
+	// with only startup cost.
+	TimePerUnit float64
+	// StartupMatrix and InvRateMatrix, when non-nil, override Latency and
+	// TimePerUnit with full per-pair matrices (diagonals are forced to 0).
+	StartupMatrix [][]float64
+	InvRateMatrix [][]float64
+}
+
+// New validates cfg and builds a System.
+func New(cfg Config) (*System, error) {
+	p := len(cfg.Speeds)
+	if p == 0 {
+		return nil, errors.New("platform: at least one processor required")
+	}
+	for i, s := range cfg.Speeds {
+		if s <= 0 {
+			return nil, fmt.Errorf("platform: processor %d has non-positive speed %g", i, s)
+		}
+	}
+	if cfg.Latency < 0 {
+		return nil, fmt.Errorf("platform: negative latency %g", cfg.Latency)
+	}
+	if cfg.TimePerUnit < 0 {
+		return nil, fmt.Errorf("platform: negative time-per-unit %g", cfg.TimePerUnit)
+	}
+	sys := &System{procs: make([]Processor, p)}
+	for i := range sys.procs {
+		sys.procs[i] = Processor{ID: i, Name: fmt.Sprintf("P%d", i), Speed: cfg.Speeds[i]}
+	}
+	var err error
+	sys.startup, err = fullMatrix(p, cfg.Latency, cfg.StartupMatrix, "startup")
+	if err != nil {
+		return nil, err
+	}
+	sys.invRate, err = fullMatrix(p, cfg.TimePerUnit, cfg.InvRateMatrix, "inverse-rate")
+	if err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+func fullMatrix(p int, uniform float64, override [][]float64, what string) ([][]float64, error) {
+	m := make([][]float64, p)
+	for i := range m {
+		m[i] = make([]float64, p)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = uniform
+			}
+		}
+	}
+	if override == nil {
+		return m, nil
+	}
+	if len(override) != p {
+		return nil, fmt.Errorf("platform: %s matrix has %d rows, want %d", what, len(override), p)
+	}
+	for i, row := range override {
+		if len(row) != p {
+			return nil, fmt.Errorf("platform: %s matrix row %d has %d cols, want %d", what, i, len(row), p)
+		}
+		for j, v := range row {
+			switch {
+			case i == j:
+				m[i][j] = 0
+			case v < 0:
+				return nil, fmt.Errorf("platform: %s[%d][%d] negative: %g", what, i, j, v)
+			default:
+				m[i][j] = v
+			}
+		}
+	}
+	return m, nil
+}
+
+// MustNew is New that panics on error, for generators and tests.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Homogeneous returns a system of p identical unit-speed processors with
+// the given per-message latency and per-unit transfer time on every link.
+func Homogeneous(p int, latency, timePerUnit float64) *System {
+	speeds := make([]float64, p)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	return MustNew(Config{Speeds: speeds, Latency: latency, TimePerUnit: timePerUnit})
+}
+
+// Len returns the number of processors.
+func (s *System) Len() int { return len(s.procs) }
+
+// Proc returns processor p.
+func (s *System) Proc(p int) Processor { return s.procs[p] }
+
+// Procs returns a copy of the processor list.
+func (s *System) Procs() []Processor {
+	out := make([]Processor, len(s.procs))
+	copy(out, s.procs)
+	return out
+}
+
+// Speed returns the relative speed of processor p.
+func (s *System) Speed(p int) float64 { return s.procs[p].Speed }
+
+// CommCost returns the time to transfer data units from processor p to q:
+// zero when p == q, otherwise startup + data * invRate.
+func (s *System) CommCost(p, q int, data float64) float64 {
+	if p == q {
+		return 0
+	}
+	return s.startup[p][q] + data*s.invRate[p][q]
+}
+
+// MeanCommCost returns the average over all ordered distinct pairs of the
+// cost of transferring data units — the c̄ used by rank computations.
+// With a single processor it returns 0.
+func (s *System) MeanCommCost(data float64) float64 {
+	p := len(s.procs)
+	if p < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				sum += s.startup[i][j] + data*s.invRate[i][j]
+			}
+		}
+	}
+	return sum / float64(p*(p-1))
+}
+
+// IsHomogeneous reports whether all processors share one speed.
+func (s *System) IsHomogeneous() bool {
+	for _, p := range s.procs[1:] {
+		if p.Speed != s.procs[0].Speed {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (s *System) String() string {
+	kind := "heterogeneous"
+	if s.IsHomogeneous() {
+		kind = "homogeneous"
+	}
+	return fmt.Sprintf("system(%d %s processors)", len(s.procs), kind)
+}

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"dagsched/internal/dag"
+)
+
+// Analysis summarizes a schedule's structure: per-task slack under the
+// fixed placement, the schedule's own critical tasks, and per-processor
+// idle time. It answers the practitioner questions "which tasks actually
+// determine the makespan?" and "where is the idle time?".
+type Analysis struct {
+	// Slack[i] is how much later task i's primary copy could finish
+	// without growing the makespan, holding every placement and the
+	// per-processor execution order fixed.
+	Slack []float64
+	// Critical lists the tasks with (near-)zero slack in id order — the
+	// schedule's critical set.
+	Critical []dag.TaskID
+	// IdleTime[p] is the total idle time on processor p before its last
+	// assignment finishes; IdleShare divides it by the makespan.
+	IdleTime  []float64
+	IdleShare []float64
+}
+
+// Analyze computes the analysis of a schedule.
+func Analyze(s *Schedule) Analysis {
+	const eps = 1e-6
+	in := s.inst
+	n := in.N()
+	ms := s.Makespan()
+
+	// latestFinish[i]: the latest time task i's primary copy may finish
+	// without delaying (a) any consumer of any of its copies and (b) the
+	// next assignment on its processor, computed backwards over the two
+	// constraint families. For simplicity and soundness, slack is
+	// computed for primary copies only and duplicates are treated as
+	// immovable (they only ever relax constraints).
+	latest := make([]float64, n)
+	for i := range latest {
+		latest[i] = ms
+	}
+	// Process primary copies in reverse start order.
+	type ref struct {
+		task  dag.TaskID
+		start float64
+	}
+	order := make([]ref, 0, n)
+	for i := 0; i < n; i++ {
+		order = append(order, ref{dag.TaskID(i), s.Primary(dag.TaskID(i)).Start})
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].start > order[b].start })
+
+	// nextOnProc[p-slot]: for each primary copy, the start of the next
+	// assignment on the same processor bounds how far it can slide.
+	nextStart := make(map[[2]float64]float64) // keyed by (proc, start) of a copy
+	for p := 0; p < in.P(); p++ {
+		tl := s.OnProc(p)
+		for k, a := range tl {
+			key := [2]float64{float64(a.Proc), a.Start}
+			if k+1 < len(tl) {
+				nextStart[key] = tl[k+1].Start
+			} else {
+				nextStart[key] = math.Inf(1)
+			}
+		}
+	}
+
+	for _, r := range order {
+		prim := s.Primary(r.task)
+		bound := ms
+		// Processor-order constraint.
+		if nx := nextStart[[2]float64{float64(prim.Proc), prim.Start}]; !math.IsInf(nx, 1) {
+			slide := nx - prim.Finish
+			if b := prim.Finish + slide; b < bound {
+				bound = b
+			}
+		}
+		// Consumer constraints: every successor's primary copy must still
+		// receive data in time. If the consumer reads from another copy
+		// of this task (a duplicate), this primary imposes nothing.
+		for _, a := range in.G.Succ(r.task) {
+			cons := s.Primary(a.To)
+			// Which copy serves cons? The one with the earliest arrival.
+			bestArr := math.Inf(1)
+			var bestCopy Assignment
+			for _, c := range s.Copies(r.task) {
+				if t := c.Finish + in.Sys.CommCost(c.Proc, cons.Proc, a.Data); t < bestArr {
+					bestArr, bestCopy = t, c
+				}
+			}
+			if bestCopy.Dup || bestCopy.Start != prim.Start || bestCopy.Proc != prim.Proc {
+				continue // served by a duplicate; the primary may slide
+			}
+			comm := in.Sys.CommCost(prim.Proc, cons.Proc, a.Data)
+			// The consumer itself may slide to latest[a.To].
+			limit := latest[a.To] - in.Cost(a.To, cons.Proc) - comm
+			// But never beyond the consumer's actual start either — the
+			// order on the consumer's processor is held fixed via its own
+			// bound, which latest[a.To] already encodes.
+			if limit < bound {
+				bound = limit
+			}
+		}
+		latest[r.task] = bound
+	}
+
+	an := Analysis{
+		Slack:     make([]float64, n),
+		IdleTime:  make([]float64, in.P()),
+		IdleShare: make([]float64, in.P()),
+	}
+	for i := 0; i < n; i++ {
+		sl := latest[i] - s.Primary(dag.TaskID(i)).Finish
+		if sl < 0 {
+			sl = 0
+		}
+		an.Slack[i] = sl
+		if sl <= eps {
+			an.Critical = append(an.Critical, dag.TaskID(i))
+		}
+	}
+	for p := 0; p < in.P(); p++ {
+		var busy, horizon float64
+		for _, a := range s.OnProc(p) {
+			busy += a.Duration()
+			if a.Finish > horizon {
+				horizon = a.Finish
+			}
+		}
+		an.IdleTime[p] = horizon - busy
+		if ms > 0 {
+			an.IdleShare[p] = an.IdleTime[p] / ms
+		}
+	}
+	return an
+}

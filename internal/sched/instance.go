@@ -1,0 +1,238 @@
+// Package sched provides the scheduling substrate shared by every
+// algorithm: the problem instance (task graph × platform × execution-cost
+// matrix), rank/priority computations, the mutable Plan used while
+// scheduling, the immutable Schedule result and its validator.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+// Instance is one scheduling problem: a task graph, a target system and
+// the execution cost W[task][processor] of every task on every processor.
+type Instance struct {
+	G   *dag.Graph
+	Sys *platform.System
+	W   [][]float64
+
+	meanW  []float64
+	sigmaW []float64
+}
+
+// NewInstance validates the cost matrix and builds an Instance. W must
+// have one row per task and one column per processor, all entries
+// non-negative and finite.
+func NewInstance(g *dag.Graph, sys *platform.System, w [][]float64) (*Instance, error) {
+	if g == nil || sys == nil {
+		return nil, fmt.Errorf("sched: nil graph or system")
+	}
+	if len(w) != g.Len() {
+		return nil, fmt.Errorf("sched: cost matrix has %d rows, want %d", len(w), g.Len())
+	}
+	for i, row := range w {
+		if len(row) != sys.Len() {
+			return nil, fmt.Errorf("sched: cost row %d has %d cols, want %d", i, len(row), sys.Len())
+		}
+		for p, v := range row {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("sched: invalid cost W[%d][%d] = %g", i, p, v)
+			}
+		}
+	}
+	inst := &Instance{G: g, Sys: sys, W: w}
+	inst.cacheStats()
+	return inst, nil
+}
+
+func (in *Instance) cacheStats() {
+	n, p := in.G.Len(), in.Sys.Len()
+	in.meanW = make([]float64, n)
+	in.sigmaW = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for q := 0; q < p; q++ {
+			sum += in.W[i][q]
+		}
+		mean := sum / float64(p)
+		var varSum float64
+		for q := 0; q < p; q++ {
+			d := in.W[i][q] - mean
+			varSum += d * d
+		}
+		in.meanW[i] = mean
+		in.sigmaW[i] = math.Sqrt(varSum / float64(p))
+	}
+}
+
+// Consistent builds the related-machines instance: W[i][p] equals the
+// task's nominal weight divided by the processor speed. On a homogeneous
+// system every row is constant.
+func Consistent(g *dag.Graph, sys *platform.System) *Instance {
+	w := make([][]float64, g.Len())
+	for i := range w {
+		w[i] = make([]float64, sys.Len())
+		for p := range w[i] {
+			w[i][p] = g.Task(dag.TaskID(i)).Weight / sys.Speed(p)
+		}
+	}
+	inst, err := NewInstance(g, sys, w)
+	if err != nil {
+		// Construction is correct by design: weights and speeds were
+		// validated by their own builders.
+		panic(err)
+	}
+	return inst
+}
+
+// Unrelated builds the inconsistent-heterogeneity instance of Topcuoglu et
+// al.: W[i][p] is drawn uniformly from [w̄·(1−β/2), w̄·(1+β/2)] around the
+// task's nominal weight w̄, independently per processor. beta must lie in
+// [0, 2); beta = 0 degenerates to a homogeneous matrix.
+func Unrelated(g *dag.Graph, sys *platform.System, beta float64, rng *rand.Rand) (*Instance, error) {
+	if beta < 0 || beta >= 2 {
+		return nil, fmt.Errorf("sched: heterogeneity beta %g out of [0,2)", beta)
+	}
+	w := make([][]float64, g.Len())
+	for i := range w {
+		w[i] = make([]float64, sys.Len())
+		nominal := g.Task(dag.TaskID(i)).Weight
+		for p := range w[i] {
+			w[i][p] = nominal * (1 + beta*(rng.Float64()-0.5))
+		}
+	}
+	return NewInstance(g, sys, w)
+}
+
+// P returns the processor count.
+func (in *Instance) P() int { return in.Sys.Len() }
+
+// N returns the task count.
+func (in *Instance) N() int { return in.G.Len() }
+
+// Cost returns the execution time of task i on processor p.
+func (in *Instance) Cost(i dag.TaskID, p int) float64 { return in.W[i][p] }
+
+// MeanCost returns the mean execution time of task i over all processors.
+func (in *Instance) MeanCost(i dag.TaskID) float64 { return in.meanW[i] }
+
+// SigmaCost returns the (population) standard deviation of task i's
+// execution time over all processors. It is zero on homogeneous matrices.
+func (in *Instance) SigmaCost(i dag.TaskID) float64 { return in.sigmaW[i] }
+
+// MinCost returns the smallest execution time of task i and the processor
+// achieving it (first such processor on ties).
+func (in *Instance) MinCost(i dag.TaskID) (float64, int) {
+	best, arg := in.W[i][0], 0
+	for p := 1; p < in.P(); p++ {
+		if in.W[i][p] < best {
+			best, arg = in.W[i][p], p
+		}
+	}
+	return best, arg
+}
+
+// Comm returns the communication cost of edge (from, to) when the tasks
+// run on processors p and q: zero if p == q or no such edge exists.
+func (in *Instance) Comm(from, to dag.TaskID, p, q int) float64 {
+	if p == q {
+		return 0
+	}
+	data, ok := in.G.EdgeData(from, to)
+	if !ok {
+		return 0
+	}
+	return in.Sys.CommCost(p, q, data)
+}
+
+// MeanComm returns the average communication cost of edge (from, to) over
+// all distinct processor pairs — the c̄(i,j) used by rank computations.
+func (in *Instance) MeanComm(from, to dag.TaskID) float64 {
+	data, ok := in.G.EdgeData(from, to)
+	if !ok {
+		return 0
+	}
+	return in.Sys.MeanCommCost(data)
+}
+
+// MeanCommData returns the average communication cost of moving data units
+// between two distinct processors.
+func (in *Instance) MeanCommData(data float64) float64 {
+	return in.Sys.MeanCommCost(data)
+}
+
+// CCR returns the realized communication-to-computation ratio: the mean
+// edge communication cost (over distinct processor pairs) divided by the
+// mean task execution cost.
+func (in *Instance) CCR() float64 {
+	var comm float64
+	edges := in.G.Edges()
+	if len(edges) == 0 {
+		return 0
+	}
+	for _, e := range edges {
+		comm += in.MeanComm(e.From, e.To)
+	}
+	comm /= float64(len(edges))
+	var comp float64
+	for i := 0; i < in.N(); i++ {
+		comp += in.meanW[i]
+	}
+	comp /= float64(in.N())
+	if comp == 0 {
+		return math.Inf(1)
+	}
+	return comm / comp
+}
+
+// SeqTime returns the best single-processor execution time: the minimum
+// over processors of the total load when every task runs there. It is the
+// numerator of the standard speedup metric.
+func (in *Instance) SeqTime() float64 {
+	best := math.Inf(1)
+	for p := 0; p < in.P(); p++ {
+		var sum float64
+		for i := 0; i < in.N(); i++ {
+			sum += in.W[i][p]
+		}
+		if sum < best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// CPMin returns the critical-path lower bound used by the SLR metric: the
+// maximum over paths of the sum of minimum execution costs along the path
+// (communication excluded, as both endpoints of any edge could share a
+// processor).
+func (in *Instance) CPMin() float64 {
+	n := in.N()
+	down := make([]float64, n)
+	for _, v := range in.G.ReverseTopoOrder() {
+		best := 0.0
+		for _, a := range in.G.Succ(v) {
+			if down[a.To] > best {
+				best = down[a.To]
+			}
+		}
+		mc, _ := in.MinCost(v)
+		down[v] = mc + best
+	}
+	cp := 0.0
+	for _, v := range down {
+		if v > cp {
+			cp = v
+		}
+	}
+	return cp
+}
+
+// String implements fmt.Stringer.
+func (in *Instance) String() string {
+	return fmt.Sprintf("instance(%s on %s, CCR=%.2f)", in.G, in.Sys, in.CCR())
+}

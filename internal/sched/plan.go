@@ -1,0 +1,255 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"dagsched/internal/dag"
+)
+
+// Plan is the mutable working state of a scheduling algorithm: a partial
+// schedule supporting earliest-slot queries, insertion-based placement and
+// task duplication. Algorithms build a Plan task by task and Finalize it
+// into an immutable Schedule.
+//
+// Plan methods panic on algorithmic misuse (placing a task twice, querying
+// the data-ready time of a task whose predecessor is unscheduled): these
+// are programming errors in an algorithm, not runtime conditions a caller
+// can handle.
+type Plan struct {
+	in     *Instance
+	procs  [][]Assignment // per processor, sorted by Start
+	byTask [][]Assignment // per task: all copies, primary first
+	placed int            // number of tasks with a primary copy
+	// blockedFrom[p] < +Inf marks processor p unavailable from that time
+	// on (fail-stop support); FindSlot never places work beyond it.
+	blockedFrom []float64
+}
+
+// NewPlan returns an empty plan for the instance.
+func NewPlan(in *Instance) *Plan {
+	pl := &Plan{
+		in:          in,
+		procs:       make([][]Assignment, in.P()),
+		byTask:      make([][]Assignment, in.N()),
+		blockedFrom: make([]float64, in.P()),
+	}
+	for p := range pl.blockedFrom {
+		pl.blockedFrom[p] = math.Inf(1)
+	}
+	return pl
+}
+
+// BlockProc marks processor p unavailable from the given time onward:
+// FindSlot (and therefore every EFT query) will never return a slot whose
+// interval extends past the block. Placements already on p are untouched.
+// Blocking is used by failure-repair scheduling; it panics on a second,
+// earlier block only if it would invalidate nothing — re-blocking simply
+// keeps the earliest time.
+func (pl *Plan) BlockProc(p int, from float64) {
+	if from < pl.blockedFrom[p] {
+		pl.blockedFrom[p] = from
+	}
+}
+
+// Blocked returns the time from which processor p is unavailable
+// (+Inf when never blocked).
+func (pl *Plan) Blocked(p int) float64 { return pl.blockedFrom[p] }
+
+// Instance returns the problem being scheduled.
+func (pl *Plan) Instance() *Instance { return pl.in }
+
+// Scheduled reports whether task i has its primary copy placed.
+func (pl *Plan) Scheduled(i dag.TaskID) bool { return len(pl.byTask[i]) > 0 }
+
+// Done reports whether every task has been placed.
+func (pl *Plan) Done() bool { return pl.placed == pl.in.N() }
+
+// Copies returns all placed copies of task i (primary first). The slice
+// must not be modified.
+func (pl *Plan) Copies(i dag.TaskID) []Assignment { return pl.byTask[i] }
+
+// Primary returns the primary copy of task i; it panics if unscheduled.
+func (pl *Plan) Primary(i dag.TaskID) Assignment {
+	if len(pl.byTask[i]) == 0 {
+		panic(fmt.Sprintf("sched: task %d not scheduled", i))
+	}
+	return pl.byTask[i][0]
+}
+
+// OnProc returns the assignments on processor p sorted by start. The slice
+// must not be modified.
+func (pl *Plan) OnProc(p int) []Assignment { return pl.procs[p] }
+
+// ProcReady returns the finish time of the last assignment on processor p
+// (0 when idle) — the non-insertion availability time.
+func (pl *Plan) ProcReady(p int) float64 {
+	t := pl.procs[p]
+	if len(t) == 0 {
+		return 0
+	}
+	return t[len(t)-1].Finish
+}
+
+// DataReady returns the earliest time all input data of task i is
+// available on processor p, taking the best copy of every predecessor.
+// Entry tasks are ready at time 0. It panics if a predecessor has no copy.
+func (pl *Plan) DataReady(i dag.TaskID, p int) float64 {
+	ready := 0.0
+	for _, pe := range pl.in.G.Pred(i) {
+		copies := pl.byTask[pe.To]
+		if len(copies) == 0 {
+			panic(fmt.Sprintf("sched: task %d scheduled before predecessor %d", i, pe.To))
+		}
+		arrival := math.Inf(1)
+		for _, c := range copies {
+			if t := c.Finish + pl.in.Sys.CommCost(c.Proc, p, pe.Data); t < arrival {
+				arrival = t
+			}
+		}
+		if arrival > ready {
+			ready = arrival
+		}
+	}
+	return ready
+}
+
+// FindSlot returns the earliest start time >= ready at which an interval
+// of length dur fits on processor p. With insertion enabled it scans idle
+// gaps between existing assignments; otherwise it appends after the last
+// assignment. When the processor is blocked (BlockProc) and the interval
+// would extend past the block, it returns +Inf.
+func (pl *Plan) FindSlot(p int, ready, dur float64, insertion bool) float64 {
+	start := pl.findSlotUnbounded(p, ready, dur, insertion)
+	if start+dur > pl.blockedFrom[p]+slotEps {
+		return math.Inf(1)
+	}
+	return start
+}
+
+func (pl *Plan) findSlotUnbounded(p int, ready, dur float64, insertion bool) float64 {
+	timeline := pl.procs[p]
+	if !insertion {
+		return math.Max(ready, pl.ProcReady(p))
+	}
+	prevFinish := 0.0
+	for _, a := range timeline {
+		start := math.Max(ready, prevFinish)
+		if start+dur <= a.Start+slotEps {
+			return start
+		}
+		if a.Finish > prevFinish {
+			prevFinish = a.Finish
+		}
+	}
+	return math.Max(ready, prevFinish)
+}
+
+// slotEps absorbs floating-point dust when deciding whether an interval
+// fits a gap exactly.
+const slotEps = 1e-9
+
+// EFTOn returns the insertion-policy earliest start and finish of task i
+// on processor p given the current partial schedule.
+func (pl *Plan) EFTOn(i dag.TaskID, p int, insertion bool) (start, finish float64) {
+	ready := pl.DataReady(i, p)
+	dur := pl.in.Cost(i, p)
+	start = pl.FindSlot(p, ready, dur, insertion)
+	return start, start + dur
+}
+
+// BestEFT returns the processor minimizing the earliest finish time of
+// task i, with its start and finish. Ties break toward the smaller
+// processor id.
+func (pl *Plan) BestEFT(i dag.TaskID, insertion bool) (proc int, start, finish float64) {
+	finish = math.Inf(1)
+	for p := 0; p < pl.in.P(); p++ {
+		s, f := pl.EFTOn(i, p, insertion)
+		if f < finish {
+			proc, start, finish = p, s, f
+		}
+	}
+	return proc, start, finish
+}
+
+// Place assigns the primary copy of task i to processor p at the given
+// start time. It does not re-derive start: algorithms decide placement,
+// the plan records it. It panics if the task is already scheduled.
+func (pl *Plan) Place(i dag.TaskID, p int, start float64) Assignment {
+	if pl.Scheduled(i) {
+		panic(fmt.Sprintf("sched: task %d placed twice", i))
+	}
+	a := Assignment{Task: i, Proc: p, Start: start, Finish: start + pl.in.Cost(i, p)}
+	pl.insert(a)
+	pl.placed++
+	return a
+}
+
+// PlaceDup adds a duplicate copy of task i on processor p. The task's
+// primary copy must already exist.
+func (pl *Plan) PlaceDup(i dag.TaskID, p int, start float64) Assignment {
+	if !pl.Scheduled(i) {
+		panic(fmt.Sprintf("sched: duplicating unscheduled task %d", i))
+	}
+	a := Assignment{Task: i, Proc: p, Start: start, Finish: start + pl.in.Cost(i, p), Dup: true}
+	pl.insert(a)
+	return a
+}
+
+func (pl *Plan) insert(a Assignment) {
+	t := pl.procs[a.Proc]
+	k := len(t)
+	for k > 0 && t[k-1].Start > a.Start {
+		k--
+	}
+	t = append(t, Assignment{})
+	copy(t[k+1:], t[k:])
+	t[k] = a
+	pl.procs[a.Proc] = t
+	if a.Dup {
+		pl.byTask[a.Task] = append(pl.byTask[a.Task], a)
+	} else {
+		pl.byTask[a.Task] = append([]Assignment{a}, pl.byTask[a.Task]...)
+	}
+}
+
+// Makespan returns the latest finish time of any primary copy placed so
+// far.
+func (pl *Plan) Makespan() float64 {
+	ms := 0.0
+	for _, copies := range pl.byTask {
+		if len(copies) > 0 && copies[0].Finish > ms {
+			ms = copies[0].Finish
+		}
+	}
+	return ms
+}
+
+// Clone returns a deep copy of the plan; used by duplication heuristics to
+// evaluate tentative placements.
+func (pl *Plan) Clone() *Plan {
+	cp := &Plan{
+		in:          pl.in,
+		procs:       make([][]Assignment, len(pl.procs)),
+		byTask:      make([][]Assignment, len(pl.byTask)),
+		placed:      pl.placed,
+		blockedFrom: append([]float64(nil), pl.blockedFrom...),
+	}
+	for p := range pl.procs {
+		cp.procs[p] = append([]Assignment(nil), pl.procs[p]...)
+	}
+	for i := range pl.byTask {
+		cp.byTask[i] = append([]Assignment(nil), pl.byTask[i]...)
+	}
+	return cp
+}
+
+// Finalize converts the plan into an immutable Schedule attributed to the
+// named algorithm. It panics if any task is unscheduled: algorithms must
+// be total.
+func (pl *Plan) Finalize(algorithm string) *Schedule {
+	if !pl.Done() {
+		panic(fmt.Sprintf("sched: finalize with %d of %d tasks scheduled", pl.placed, pl.in.N()))
+	}
+	return buildSchedule(pl.in, algorithm, pl.procs)
+}

@@ -1,0 +1,379 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/platform"
+)
+
+func TestPlanBasics(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	if pl.Done() || pl.Scheduled(0) {
+		t.Fatal("fresh plan should be empty")
+	}
+	a := pl.Place(0, 0, 0)
+	if a.Finish != 2 {
+		t.Fatalf("finish = %g, want 2", a.Finish)
+	}
+	if !pl.Scheduled(0) {
+		t.Fatal("task 0 not marked scheduled")
+	}
+	if got := pl.ProcReady(0); got != 2 {
+		t.Fatalf("ProcReady = %g", got)
+	}
+	if got := pl.ProcReady(1); got != 0 {
+		t.Fatalf("ProcReady idle = %g", got)
+	}
+	if got := pl.Primary(0).Proc; got != 0 {
+		t.Fatalf("Primary proc = %d", got)
+	}
+}
+
+func TestDataReady(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc()) // latency 0, rate 1
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0) // finishes at 2
+	// Task 1 on same proc: ready at parent finish 2; on other proc:
+	// 2 + comm(1 unit) = 3.
+	if got := pl.DataReady(1, 0); got != 2 {
+		t.Fatalf("DataReady(1,P0) = %g, want 2", got)
+	}
+	if got := pl.DataReady(1, 1); got != 3 {
+		t.Fatalf("DataReady(1,P1) = %g, want 3", got)
+	}
+	// Entry tasks are ready immediately.
+	pl2 := NewPlan(in)
+	if got := pl2.DataReady(0, 1); got != 0 {
+		t.Fatalf("entry DataReady = %g", got)
+	}
+}
+
+func TestDataReadyUsesClosestCopy(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0)    // primary on P0, finish 2
+	pl.PlaceDup(0, 1, 5) // duplicate on P1, finish 7
+	// On P1 the duplicate (finish 7) competes with remote primary
+	// (2 + 1 = 3): the remote copy is better here.
+	if got := pl.DataReady(1, 1); got != 3 {
+		t.Fatalf("DataReady = %g, want 3", got)
+	}
+	// With a big edge (0->2 carries 4 units): remote = 2+4 = 6 vs local dup
+	// ready at 7: remote still wins. Make the dup earlier to flip it.
+	pl2 := NewPlan(in)
+	pl2.Place(0, 0, 0)
+	pl2.PlaceDup(0, 1, 1) // finish 3
+	if got := pl2.DataReady(2, 1); got != 3 {
+		t.Fatalf("DataReady with dup = %g, want 3 (local dup finish)", got)
+	}
+}
+
+func TestDataReadyPanicsOnUnscheduledParent(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unscheduled parent")
+		}
+	}()
+	pl.DataReady(3, 0)
+}
+
+func TestFindSlotInsertion(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0) // [0,2)
+	pl.Place(3, 0, 6) // [6,10)
+	// Gap [2,6): a task of duration 3 ready at 0 fits at 2.
+	if got := pl.FindSlot(0, 0, 3, true); got != 2 {
+		t.Fatalf("FindSlot = %g, want 2", got)
+	}
+	// Duration 5 does not fit the gap: appended after 10.
+	if got := pl.FindSlot(0, 0, 5, true); got != 10 {
+		t.Fatalf("FindSlot = %g, want 10", got)
+	}
+	// Non-insertion ignores the gap.
+	if got := pl.FindSlot(0, 0, 3, false); got != 10 {
+		t.Fatalf("FindSlot non-insertion = %g, want 10", got)
+	}
+	// Ready time inside the gap shrinks it.
+	if got := pl.FindSlot(0, 4, 2, true); got != 4 {
+		t.Fatalf("FindSlot = %g, want 4", got)
+	}
+	if got := pl.FindSlot(0, 5, 2, true); got != 10 {
+		t.Fatalf("FindSlot = %g, want 10", got)
+	}
+	// Empty processor: starts at ready.
+	if got := pl.FindSlot(1, 7, 3, true); got != 7 {
+		t.Fatalf("FindSlot empty = %g, want 7", got)
+	}
+}
+
+func TestFindSlotExactFit(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0) // [0,2)
+	pl.Place(1, 0, 5) // [5,8)
+	// Exact-fit interval [2,5) for duration 3.
+	if got := pl.FindSlot(0, 0, 3, true); got != 2 {
+		t.Fatalf("exact fit = %g, want 2", got)
+	}
+}
+
+func TestEFTAndBestEFT(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0) // finish 2
+	// Task 1 (cost 3): P0 start 2 finish 5; P1 start 3 finish 6.
+	s, f := pl.EFTOn(1, 0, true)
+	if s != 2 || f != 5 {
+		t.Fatalf("EFTOn P0 = %g,%g", s, f)
+	}
+	s, f = pl.EFTOn(1, 1, true)
+	if s != 3 || f != 6 {
+		t.Fatalf("EFTOn P1 = %g,%g", s, f)
+	}
+	p, s, f := pl.BestEFT(1, true)
+	if p != 0 || s != 2 || f != 5 {
+		t.Fatalf("BestEFT = %d,%g,%g", p, s, f)
+	}
+}
+
+func TestPlacePanicsOnDouble(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double placement")
+		}
+	}()
+	pl.Place(0, 1, 0)
+}
+
+func TestPlaceDupPanicsOnUnscheduled(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dup of unscheduled task")
+		}
+	}()
+	pl.PlaceDup(0, 0, 0)
+}
+
+func TestCloneIsolation(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0)
+	cp := pl.Clone()
+	cp.Place(1, 0, 2)
+	if pl.Scheduled(1) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if !cp.Scheduled(1) {
+		t.Fatal("clone lost its own mutation")
+	}
+	if pl.ProcReady(0) != 2 || cp.ProcReady(0) != 5 {
+		t.Fatalf("timelines entangled: %g vs %g", pl.ProcReady(0), cp.ProcReady(0))
+	}
+}
+
+func TestFinalizeAndValidate(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0)
+	p, s, _ := pl.BestEFT(1, true)
+	pl.Place(1, p, s)
+	p, s, _ = pl.BestEFT(2, true)
+	pl.Place(2, p, s)
+	p, s, _ = pl.BestEFT(3, true)
+	pl.Place(3, p, s)
+	sch := pl.Finalize("test")
+	if err := sch.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if sch.Algorithm() != "test" {
+		t.Fatalf("Algorithm = %q", sch.Algorithm())
+	}
+	if sch.Makespan() <= 0 {
+		t.Fatalf("Makespan = %g", sch.Makespan())
+	}
+	if sch.NumDuplicates() != 0 {
+		t.Fatalf("NumDuplicates = %d", sch.NumDuplicates())
+	}
+	if got := len(sch.All()); got != 4 {
+		t.Fatalf("All() len = %d", got)
+	}
+}
+
+func TestFinalizePanicsIncomplete(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on incomplete finalize")
+		}
+	}()
+	pl.Finalize("partial")
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+
+	build := func(mutate func(pl *Plan)) *Schedule {
+		pl := NewPlan(in)
+		mutate(pl)
+		return pl.Finalize("bad")
+	}
+
+	// Precedence violation: child starts before parent's data arrives.
+	s := build(func(pl *Plan) {
+		pl.Place(0, 0, 0) // finish 2
+		pl.Place(1, 1, 0) // starts before data arrival 3
+		pl.Place(2, 0, 2)
+		pl.Place(3, 0, 50)
+	})
+	if err := s.Validate(); err == nil {
+		t.Fatal("precedence violation not caught")
+	}
+
+	// Overlap violation on one processor.
+	s = build(func(pl *Plan) {
+		pl.Place(0, 0, 0)
+		pl.Place(1, 0, 1) // overlaps [0,2)
+		pl.Place(2, 0, 10)
+		pl.Place(3, 0, 50)
+	})
+	if err := s.Validate(); err == nil {
+		t.Fatal("overlap not caught")
+	}
+
+	// Negative start.
+	s = build(func(pl *Plan) {
+		pl.Place(0, 0, -5)
+		pl.Place(1, 0, 10)
+		pl.Place(2, 0, 20)
+		pl.Place(3, 0, 50)
+	})
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative start not caught")
+	}
+}
+
+func TestBlockProc(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	if got := pl.Blocked(0); !math.IsInf(got, 1) {
+		t.Fatalf("fresh plan blocked at %g", got)
+	}
+	pl.BlockProc(1, 5)
+	// Duration 3 starting at 0 fits before the block; duration 3 at
+	// ready 3 would end at 6 > 5: impossible.
+	if got := pl.FindSlot(1, 0, 3, true); got != 0 {
+		t.Fatalf("FindSlot = %g, want 0", got)
+	}
+	if got := pl.FindSlot(1, 3, 3, true); !math.IsInf(got, 1) {
+		t.Fatalf("FindSlot past block = %g, want +Inf", got)
+	}
+	// Re-blocking keeps the earliest time.
+	pl.BlockProc(1, 8)
+	if pl.Blocked(1) != 5 {
+		t.Fatalf("Blocked = %g, want 5", pl.Blocked(1))
+	}
+	pl.BlockProc(1, 2)
+	if pl.Blocked(1) != 2 {
+		t.Fatalf("Blocked = %g, want 2", pl.Blocked(1))
+	}
+	// BestEFT routes around a fully blocked processor.
+	pl2 := NewPlan(in)
+	pl2.BlockProc(0, 0)
+	p, s, f := pl2.BestEFT(0, true)
+	if p != 1 || s != 0 || math.IsInf(f, 1) {
+		t.Fatalf("BestEFT = %d,%g,%g", p, s, f)
+	}
+	// Clone preserves blocks.
+	cp := pl2.Clone()
+	if cp.Blocked(0) != 0 {
+		t.Fatal("clone lost block")
+	}
+}
+
+func TestBlockProcMath(t *testing.T) {
+	// Guard the +Inf arithmetic: a finite slot plus duration never trips
+	// the unblocked (+Inf) comparison.
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	if got := pl.FindSlot(0, 1e308, 1e308, true); math.IsInf(got, 1) {
+		t.Fatal("huge finite request misclassified as blocked")
+	}
+}
+
+// Property: greedy insertion scheduling in topological order always yields
+// a valid schedule, on many random instances.
+func TestGreedyTopoAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(t, rng, 2+rng.Intn(40), 1+rng.Intn(6))
+		pl := NewPlan(in)
+		for _, v := range in.G.TopoOrder() {
+			p, s, _ := pl.BestEFT(v, true)
+			pl.Place(v, p, s)
+		}
+		sch := pl.Finalize("greedy")
+		if err := sch.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sch.Makespan() < in.CPMin()-eps {
+			t.Fatalf("makespan %g below lower bound %g", sch.Makespan(), in.CPMin())
+		}
+	}
+}
+
+// Property: with duplicates placed in holes, validation still passes and
+// DataReady never increases after adding a duplicate.
+func TestDuplicationNeverHurtsReadiness(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := diamondGraph(t)
+	in := Consistent(g, platform.Homogeneous(3, 1, 2))
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0)
+	_ = rng
+	// Manually schedule 1 and 2 on P0, then duplicate 1 onto P1.
+	p, s, _ := pl.BestEFT(1, true)
+	pl.Place(1, p, s)
+	p, s, _ = pl.BestEFT(2, true)
+	pl.Place(2, p, s)
+	mid := pl.DataReady(3, 1)
+	ready := pl.DataReady(1, 1)
+	slot := pl.FindSlot(1, ready, in.Cost(1, 1), true)
+	pl.PlaceDup(1, 1, slot)
+	after := pl.DataReady(3, 1)
+	if after > mid+eps {
+		t.Fatalf("duplicate increased readiness: %g -> %g", mid, after)
+	}
+	p, s, _ = pl.BestEFT(3, true)
+	pl.Place(3, p, s)
+	if err := pl.Finalize("dup").Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

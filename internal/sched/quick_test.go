@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+// slotCase describes a randomized timeline plus a slot query, drawn by
+// testing/quick.
+type slotCase struct {
+	Seed  int64
+	Busy  uint8 // number of pre-placed busy intervals, 0..12
+	Ready float64
+	Dur   float64
+}
+
+// Generate implements quick.Generator.
+func (slotCase) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(slotCase{
+		Seed:  r.Int63(),
+		Busy:  uint8(r.Intn(13)),
+		Ready: r.Float64() * 50,
+		Dur:   0.1 + r.Float64()*20,
+	})
+}
+
+// buildTimeline places Busy independent tasks back to back with random
+// gaps on processor 0 and returns the plan plus the busy intervals.
+func (sc slotCase) buildTimeline() (*Plan, [][2]float64) {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	n := int(sc.Busy) + 1
+	b := dag.NewBuilder("slots")
+	for i := 0; i < n; i++ {
+		b.AddTask("", 1) // weights replaced via explicit matrix below
+	}
+	g := b.MustBuild()
+	w := make([][]float64, n)
+	durs := make([]float64, n)
+	for i := range w {
+		durs[i] = 0.5 + rng.Float64()*8
+		w[i] = []float64{durs[i]}
+	}
+	in, err := NewInstance(g, platform.Homogeneous(1, 0, 1), w)
+	if err != nil {
+		panic(err)
+	}
+	pl := NewPlan(in)
+	var busy [][2]float64
+	cursor := 0.0
+	for i := 0; i < int(sc.Busy); i++ {
+		cursor += rng.Float64() * 6 // random gap
+		pl.Place(dag.TaskID(i), 0, cursor)
+		busy = append(busy, [2]float64{cursor, cursor + durs[i]})
+		cursor += durs[i]
+	}
+	return pl, busy
+}
+
+// Property: FindSlot returns a feasible start — at/after ready, not
+// overlapping any busy interval — and with insertion enabled it returns
+// the EARLIEST such start.
+func TestQuickFindSlotCorrectAndEarliest(t *testing.T) {
+	f := func(sc slotCase) bool {
+		pl, busy := sc.buildTimeline()
+		start := pl.FindSlot(0, sc.Ready, sc.Dur, true)
+		if start < sc.Ready-1e-9 {
+			return false
+		}
+		overlaps := func(s float64) bool {
+			for _, iv := range busy {
+				if s < iv[1]-1e-9 && s+sc.Dur > iv[0]+1e-9 {
+					return true
+				}
+			}
+			return false
+		}
+		if overlaps(start) {
+			return false
+		}
+		// Earliest: no feasible start strictly earlier. Candidate starts
+		// are ready and every busy-interval end.
+		cands := []float64{sc.Ready}
+		for _, iv := range busy {
+			if iv[1] > sc.Ready {
+				cands = append(cands, iv[1])
+			}
+		}
+		for _, c := range cands {
+			if c < start-1e-9 && !overlaps(c) {
+				return false // found an earlier feasible slot
+			}
+		}
+		// Non-insertion appends at the end: start >= every busy finish.
+		ni := pl.FindSlot(0, sc.Ready, sc.Dur, false)
+		for _, iv := range busy {
+			if ni < iv[1]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FindSlot is monotone in the requested duration — a longer
+// interval never starts earlier.
+func TestQuickFindSlotMonotoneInDuration(t *testing.T) {
+	f := func(sc slotCase, extra float64) bool {
+		pl, _ := sc.buildTimeline()
+		grow := math.Abs(extra)
+		if math.IsNaN(grow) || math.IsInf(grow, 0) {
+			grow = 1
+		}
+		s1 := pl.FindSlot(0, sc.Ready, sc.Dur, true)
+		s2 := pl.FindSlot(0, sc.Ready, sc.Dur+grow, true)
+		return s2 >= s1-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: greedy EFT scheduling of random instances always validates
+// and the makespan lies between the critical-path bound and the serial
+// bound.
+func TestQuickGreedyScheduleBounds(t *testing.T) {
+	type instCase struct {
+		Seed  int64
+		N     uint8
+		Procs uint8
+	}
+	gen := func(r *rand.Rand) instCase {
+		return instCase{Seed: r.Int63(), N: uint8(2 + r.Intn(30)), Procs: uint8(1 + r.Intn(5))}
+	}
+	build := func(rng *rand.Rand, n, procs int) *Instance {
+		b := dag.NewBuilder("quick")
+		for i := 0; i < n; i++ {
+			b.AddTask("", 1+rng.Float64()*9)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.2 {
+					b.AddEdge(dag.TaskID(i), dag.TaskID(j), rng.Float64()*10)
+				}
+			}
+		}
+		in, err := Unrelated(b.MustBuild(), platform.Homogeneous(procs, 0.1, 1), 0.8, rng)
+		if err != nil {
+			panic(err)
+		}
+		return in
+	}
+	f := func(c instCase) bool {
+		rng := rand.New(rand.NewSource(c.Seed))
+		in := build(rng, int(c.N), int(c.Procs))
+		pl := NewPlan(in)
+		for _, v := range in.G.TopoOrder() {
+			p, s, _ := pl.BestEFT(v, true)
+			pl.Place(v, p, s)
+		}
+		sch := pl.Finalize("greedy")
+		if sch.Validate() != nil {
+			return false
+		}
+		// Sound upper bound: every task adds at most its maximum cost plus
+		// its maximum incoming communication to the running makespan
+		// (greedy EFT never waits longer than the slowest arrival).
+		bound := 0.0
+		for i := 0; i < in.N(); i++ {
+			maxC := 0.0
+			for p := 0; p < in.P(); p++ {
+				if in.Cost(dag.TaskID(i), p) > maxC {
+					maxC = in.Cost(dag.TaskID(i), p)
+				}
+			}
+			bound += maxC
+		}
+		for _, e := range in.G.Edges() {
+			maxComm := 0.0
+			for p := 0; p < in.P(); p++ {
+				for q := 0; q < in.P(); q++ {
+					if c := in.Sys.CommCost(p, q, e.Data); c > maxComm {
+						maxComm = c
+					}
+				}
+			}
+			bound += maxComm
+		}
+		return sch.Makespan() >= in.CPMin()-1e-6 && sch.Makespan() <= bound+1e-6
+	}
+	cfg := &quick.Config{MaxCount: 120, Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(gen(r))
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package sched
+
+import "dagsched/internal/dag"
+
+// Rank and priority computations shared by the list-scheduling heuristics.
+// All ranks use platform-mean execution costs and platform-mean
+// communication costs, the standard convention of the literature.
+
+// RankUpward returns rank_u(i) = w̄(i) + max over successors j of
+// (c̄(i,j) + rank_u(j)), the HEFT upward rank. Exit tasks have rank equal
+// to their mean cost.
+func RankUpward(in *Instance) []float64 {
+	return rankUpwardWith(in, in.meanW)
+}
+
+// RankUpwardSigma returns the σ-augmented upward rank used by ILS:
+// identical to RankUpward but with per-task cost estimate w̄(i) + σ(i).
+// On homogeneous cost matrices σ = 0 and the result equals RankUpward.
+func RankUpwardSigma(in *Instance) []float64 {
+	comp := make([]float64, in.N())
+	for i := range comp {
+		comp[i] = in.meanW[i] + in.sigmaW[i]
+	}
+	return rankUpwardWith(in, comp)
+}
+
+func rankUpwardWith(in *Instance, comp []float64) []float64 {
+	ranks := make([]float64, in.N())
+	for _, v := range in.G.ReverseTopoOrder() {
+		best := 0.0
+		for _, a := range in.G.Succ(v) {
+			if cand := in.MeanCommData(a.Data) + ranks[a.To]; cand > best {
+				best = cand
+			}
+		}
+		ranks[v] = comp[v] + best
+	}
+	return ranks
+}
+
+// RankDownward returns rank_d(i) = max over predecessors m of
+// (rank_d(m) + w̄(m) + c̄(m,i)); entry tasks have rank 0. rank_d is the
+// length of the longest mean-cost path from an entry up to (excluding) i.
+func RankDownward(in *Instance) []float64 {
+	ranks := make([]float64, in.N())
+	for _, v := range in.G.TopoOrder() {
+		best := 0.0
+		for _, p := range in.G.Pred(v) {
+			if cand := ranks[p.To] + in.meanW[p.To] + in.MeanCommData(p.Data); cand > best {
+				best = cand
+			}
+		}
+		ranks[v] = best
+	}
+	return ranks
+}
+
+// StaticLevel returns SL(i): the largest sum of mean execution costs along
+// any path from i to an exit, communication excluded (Sih & Lee's static
+// level, also HLFET's priority).
+func StaticLevel(in *Instance) []float64 {
+	sl := make([]float64, in.N())
+	for _, v := range in.G.ReverseTopoOrder() {
+		best := 0.0
+		for _, a := range in.G.Succ(v) {
+			if sl[a.To] > best {
+				best = sl[a.To]
+			}
+		}
+		sl[v] = in.meanW[v] + best
+	}
+	return sl
+}
+
+// ALAPStart returns the as-late-as-possible start time of every task under
+// mean execution and mean communication costs (MCP's priority measure):
+// alap[i] = CP − bl(i), where bl is the comm-inclusive mean-cost bottom
+// level and CP its maximum.
+func ALAPStart(in *Instance) []float64 {
+	bl := RankUpward(in) // comm-inclusive mean-cost bottom level
+	cp := 0.0
+	for _, v := range bl {
+		if v > cp {
+			cp = v
+		}
+	}
+	out := make([]float64, len(bl))
+	for i, v := range bl {
+		out[i] = cp - v
+	}
+	return out
+}
+
+// CriticalPathMean returns the set of tasks on a longest mean-cost
+// comm-inclusive path (the CPOP critical path) and its length. The path is
+// traced greedily from the highest-priority entry task, breaking ties by
+// smaller task id.
+func CriticalPathMean(in *Instance) ([]dag.TaskID, float64) {
+	up := RankUpward(in)
+	down := RankDownward(in)
+	cp := 0.0
+	for i := range up {
+		if s := up[i] + down[i]; s > cp {
+			cp = s
+		}
+	}
+	const eps = 1e-9
+	// Start from the entry task whose up+down equals the CP length.
+	var start dag.TaskID = -1
+	for _, e := range in.G.Entries() {
+		if up[e]+down[e] >= cp-eps {
+			start = e
+			break
+		}
+	}
+	if start == -1 {
+		// Unreachable: some entry always lies on the critical path.
+		panic("sched: no critical-path entry found")
+	}
+	path := []dag.TaskID{start}
+	cur := start
+	for in.G.OutDegree(cur) > 0 {
+		next := dag.TaskID(-1)
+		for _, a := range in.G.Succ(cur) {
+			if up[a.To]+down[a.To] >= cp-eps {
+				next = a.To
+				break
+			}
+		}
+		if next == -1 {
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, cp
+}
+
+// SortByRankDesc returns task ids 0..n−1 ordered by decreasing rank,
+// breaking ties by smaller id. The caller's rank slice is not modified.
+func SortByRankDesc(rank []float64) []dag.TaskID {
+	order := make([]dag.TaskID, len(rank))
+	for i := range order {
+		order[i] = dag.TaskID(i)
+	}
+	sortStable(order, func(a, b dag.TaskID) bool {
+		if rank[a] != rank[b] {
+			return rank[a] > rank[b]
+		}
+		return a < b
+	})
+	return order
+}
+
+// SortByRankAsc is SortByRankDesc with ascending order.
+func SortByRankAsc(rank []float64) []dag.TaskID {
+	order := make([]dag.TaskID, len(rank))
+	for i := range order {
+		order[i] = dag.TaskID(i)
+	}
+	sortStable(order, func(a, b dag.TaskID) bool {
+		if rank[a] != rank[b] {
+			return rank[a] < rank[b]
+		}
+		return a < b
+	})
+	return order
+}
+
+// sortStable is a tiny insertion-free merge sort wrapper to avoid pulling
+// reflection-based sort.Slice into hot paths; n is small enough that the
+// stdlib is fine, but keeping a single entry point makes tie-breaking
+// policies auditable.
+func sortStable(ids []dag.TaskID, less func(a, b dag.TaskID) bool) {
+	// Simple binary-insertion sort: deterministic, stable, and fast for
+	// the few-thousand-element priority lists seen here.
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		lo, hi := 0, i
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if less(v, ids[mid]) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		copy(ids[lo+1:i+1], ids[lo:i])
+		ids[lo] = v
+	}
+}

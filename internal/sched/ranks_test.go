@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+func TestRankUpwardDiamond(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, platform.Homogeneous(2, 0, 1)) // mean comm = data
+	r := RankUpward(in)
+	// rank(3)=4; rank(1)=3+2+4=9; rank(2)=1+3+4=8; rank(0)=2+max(1+9,4+8)=14.
+	want := []float64{14, 9, 8, 4}
+	for i := range want {
+		if !almostEqual(r[i], want[i]) {
+			t.Fatalf("RankUpward = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRankDownwardDiamond(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, platform.Homogeneous(2, 0, 1))
+	r := RankDownward(in)
+	// rank_d(0)=0; rank_d(1)=0+2+1=3; rank_d(2)=0+2+4=6; rank_d(3)=max(3+3+2, 6+1+3)=10.
+	want := []float64{0, 3, 6, 10}
+	for i := range want {
+		if !almostEqual(r[i], want[i]) {
+			t.Fatalf("RankDownward = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRankSigmaEqualsRankUOnHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := dag.NewBuilder("g")
+	for i := 0; i < 20; i++ {
+		b.AddTask("", 1+rng.Float64()*5)
+	}
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			if rng.Float64() < 0.2 {
+				b.AddEdge(dag.TaskID(i), dag.TaskID(j), rng.Float64()*5)
+			}
+		}
+	}
+	in := Consistent(b.MustBuild(), platform.Homogeneous(4, 0, 1))
+	ru := RankUpward(in)
+	rs := RankUpwardSigma(in)
+	for i := range ru {
+		if !almostEqual(ru[i], rs[i]) {
+			t.Fatalf("sigma rank differs on homogeneous system at %d: %g vs %g", i, ru[i], rs[i])
+		}
+	}
+}
+
+func TestRankSigmaDominatesOnHeterogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomInstance(t, rng, 25, 4)
+	ru := RankUpward(in)
+	rs := RankUpwardSigma(in)
+	for i := range ru {
+		if rs[i] < ru[i]-eps {
+			t.Fatalf("sigma rank %g below plain rank %g at task %d", rs[i], ru[i], i)
+		}
+	}
+}
+
+func TestStaticLevel(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, platform.Homogeneous(2, 0, 1))
+	sl := StaticLevel(in)
+	want := []float64{9, 7, 5, 4}
+	for i := range want {
+		if !almostEqual(sl[i], want[i]) {
+			t.Fatalf("StaticLevel = %v, want %v", sl, want)
+		}
+	}
+}
+
+func TestALAPStart(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, platform.Homogeneous(2, 0, 1))
+	alap := ALAPStart(in)
+	// CP(mean, comm) = 14; alap = 14 - rank_u.
+	want := []float64{0, 5, 6, 10}
+	for i := range want {
+		if !almostEqual(alap[i], want[i]) {
+			t.Fatalf("ALAPStart = %v, want %v", alap, want)
+		}
+	}
+}
+
+func TestCriticalPathMean(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, platform.Homogeneous(2, 0, 1))
+	path, cp := CriticalPathMean(in)
+	if !almostEqual(cp, 14) {
+		t.Fatalf("cp = %g, want 14", cp)
+	}
+	want := []dag.TaskID{0, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	// The path is contiguous in the graph.
+	for i := 0; i+1 < len(path); i++ {
+		if _, ok := g.EdgeData(path[i], path[i+1]); !ok {
+			t.Fatalf("path step %d->%d not an edge", path[i], path[i+1])
+		}
+	}
+}
+
+func TestCriticalPathMeanRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(t, rng, 3+rng.Intn(30), 3)
+		path, cp := CriticalPathMean(in)
+		up := RankUpward(in)
+		down := RankDownward(in)
+		for _, v := range path {
+			if !almostEqual(up[v]+down[v], cp) {
+				t.Fatalf("task %d on path has up+down = %g, cp = %g", v, up[v]+down[v], cp)
+			}
+		}
+		// CP length matches the max up-rank over entries.
+		maxUp := 0.0
+		for _, e := range in.G.Entries() {
+			if up[e] > maxUp {
+				maxUp = up[e]
+			}
+		}
+		if !almostEqual(maxUp, cp) {
+			t.Fatalf("cp = %g, max entry rank = %g", cp, maxUp)
+		}
+	}
+}
+
+func TestSortByRank(t *testing.T) {
+	rank := []float64{3, 5, 5, 1}
+	desc := SortByRankDesc(rank)
+	wantDesc := []dag.TaskID{1, 2, 0, 3}
+	for i := range wantDesc {
+		if desc[i] != wantDesc[i] {
+			t.Fatalf("desc = %v, want %v", desc, wantDesc)
+		}
+	}
+	asc := SortByRankAsc(rank)
+	wantAsc := []dag.TaskID{3, 0, 1, 2}
+	for i := range wantAsc {
+		if asc[i] != wantAsc[i] {
+			t.Fatalf("asc = %v, want %v", asc, wantAsc)
+		}
+	}
+}
+
+func TestSortByRankLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rank := make([]float64, 500)
+	for i := range rank {
+		rank[i] = float64(rng.Intn(50)) // many ties
+	}
+	order := SortByRankDesc(rank)
+	seen := make(map[dag.TaskID]bool)
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		if rank[a] < rank[b] {
+			t.Fatal("not sorted descending")
+		}
+		if rank[a] == rank[b] && a > b {
+			t.Fatal("tie not broken by id")
+		}
+	}
+	for _, v := range order {
+		if seen[v] {
+			t.Fatal("duplicate id in order")
+		}
+		seen[v] = true
+	}
+}
+
+func TestRankUpwardRespectsTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(t, rng, 3+rng.Intn(30), 4)
+		r := RankUpward(in)
+		// rank_u(from) >= mean cost(from) + mean comm + rank_u(to), so in
+		// particular it exceeds rank_u(to) by at least the task's own cost.
+		for _, e := range in.G.Edges() {
+			if r[e.From] < r[e.To]+in.MeanCost(e.From)-eps {
+				t.Fatalf("rank not decreasing along edge %v: %g vs %g", e, r[e.From], r[e.To])
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dagsched/internal/dag"
+)
+
+// Assignment is one placement of a task copy on a processor.
+type Assignment struct {
+	Task   dag.TaskID
+	Proc   int
+	Start  float64
+	Finish float64
+	// Dup marks duplicated copies inserted by duplication-based
+	// heuristics; every task has exactly one non-Dup (primary) copy.
+	Dup bool
+}
+
+// Duration returns Finish − Start.
+func (a Assignment) Duration() float64 { return a.Finish - a.Start }
+
+// Schedule is an immutable, validated result of a scheduling algorithm.
+type Schedule struct {
+	inst      *Instance
+	algorithm string
+	procs     [][]Assignment // per processor, sorted by Start
+	byTask    [][]Assignment // per task, primary first then dups by Start
+	makespan  float64
+}
+
+// Instance returns the problem this schedule solves.
+func (s *Schedule) Instance() *Instance { return s.inst }
+
+// Algorithm returns the name of the algorithm that produced the schedule.
+func (s *Schedule) Algorithm() string { return s.algorithm }
+
+// Makespan returns the overall schedule length (latest finish time of any
+// primary copy; duplicates never extend it because a duplicate exists only
+// to serve a later task).
+func (s *Schedule) Makespan() float64 { return s.makespan }
+
+// Primary returns the primary (non-duplicate) assignment of task i.
+func (s *Schedule) Primary(i dag.TaskID) Assignment { return s.byTask[i][0] }
+
+// Copies returns all assignments of task i, primary first. The returned
+// slice must not be modified.
+func (s *Schedule) Copies(i dag.TaskID) []Assignment { return s.byTask[i] }
+
+// OnProc returns the assignments on processor p sorted by start time. The
+// returned slice must not be modified.
+func (s *Schedule) OnProc(p int) []Assignment { return s.procs[p] }
+
+// NumCopies returns the total number of task copies including duplicates.
+func (s *Schedule) NumCopies() int {
+	total := 0
+	for _, t := range s.procs {
+		total += len(t)
+	}
+	return total
+}
+
+// NumDuplicates returns how many duplicated copies the schedule contains.
+func (s *Schedule) NumDuplicates() int { return s.NumCopies() - s.inst.N() }
+
+// All returns every assignment ordered by (processor, start).
+func (s *Schedule) All() []Assignment {
+	var out []Assignment
+	for _, t := range s.procs {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("schedule(%s: makespan=%.4g, %d copies on %d procs)",
+		s.algorithm, s.makespan, s.NumCopies(), len(s.procs))
+}
+
+// Validate re-checks every structural and temporal constraint of the
+// schedule against its instance. It is the single source of truth used by
+// tests, the simulator and the CLI tools. A nil return means the schedule
+// is feasible.
+func (s *Schedule) Validate() error {
+	const eps = 1e-6
+	in := s.inst
+	// Every task has exactly one primary copy.
+	for i := 0; i < in.N(); i++ {
+		copies := s.byTask[i]
+		if len(copies) == 0 {
+			return fmt.Errorf("sched: task %d has no assignment", i)
+		}
+		primaries := 0
+		for _, c := range copies {
+			if !c.Dup {
+				primaries++
+			}
+		}
+		if primaries != 1 {
+			return fmt.Errorf("sched: task %d has %d primary copies, want 1", i, primaries)
+		}
+	}
+	// Per-processor slots are disjoint, sane and match execution costs.
+	for p, timeline := range s.procs {
+		prevFinish := math.Inf(-1)
+		for _, a := range timeline {
+			if a.Start < -eps {
+				return fmt.Errorf("sched: task %d starts at negative time %g", a.Task, a.Start)
+			}
+			if a.Proc != p {
+				return fmt.Errorf("sched: assignment of task %d filed under proc %d but says proc %d", a.Task, p, a.Proc)
+			}
+			want := in.Cost(a.Task, p)
+			if math.Abs(a.Duration()-want) > eps {
+				return fmt.Errorf("sched: task %d on P%d runs %g, cost is %g", a.Task, p, a.Duration(), want)
+			}
+			if a.Start < prevFinish-eps {
+				return fmt.Errorf("sched: overlap on P%d at task %d (start %g < previous finish %g)", p, a.Task, a.Start, prevFinish)
+			}
+			if a.Finish > prevFinish {
+				prevFinish = a.Finish
+			}
+		}
+	}
+	// Every copy individually respects data arrival from the best copy of
+	// each predecessor.
+	for i := 0; i < in.N(); i++ {
+		for _, c := range s.byTask[i] {
+			for _, pe := range in.G.Pred(dag.TaskID(i)) {
+				arrival := math.Inf(1)
+				for _, pc := range s.byTask[pe.To] {
+					t := pc.Finish + in.Sys.CommCost(pc.Proc, c.Proc, pe.Data)
+					if t < arrival {
+						arrival = t
+					}
+				}
+				if c.Start < arrival-eps {
+					return fmt.Errorf("sched: task %d copy on P%d starts %g before data from task %d arrives at %g",
+						i, c.Proc, c.Start, pe.To, arrival)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// buildSchedule assembles the immutable Schedule from a finished Plan.
+func buildSchedule(in *Instance, algorithm string, procs [][]Assignment) *Schedule {
+	s := &Schedule{
+		inst:      in,
+		algorithm: algorithm,
+		procs:     make([][]Assignment, len(procs)),
+		byTask:    make([][]Assignment, in.N()),
+	}
+	for p := range procs {
+		s.procs[p] = append([]Assignment(nil), procs[p]...)
+		sort.Slice(s.procs[p], func(a, b int) bool { return s.procs[p][a].Start < s.procs[p][b].Start })
+		for _, a := range s.procs[p] {
+			s.byTask[a.Task] = append(s.byTask[a.Task], a)
+		}
+	}
+	for i := range s.byTask {
+		copies := s.byTask[i]
+		sort.Slice(copies, func(a, b int) bool {
+			if copies[a].Dup != copies[b].Dup {
+				return !copies[a].Dup // primary first
+			}
+			return copies[a].Start < copies[b].Start
+		})
+		for _, c := range copies {
+			if !c.Dup && c.Finish > s.makespan {
+				s.makespan = c.Finish
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+// Package sim replays a static schedule as a discrete-event execution,
+// independently re-deriving every start time from the schedule's
+// placement decisions. With zero noise the replayed makespan equals the
+// analytic makespan exactly (a strong cross-check of the scheduling
+// machinery); with noise it measures the robustness of a static schedule
+// against runtime execution-time variation.
+//
+// Replay semantics: task-copy order per processor and the data routing
+// between copies are fixed at schedule time, as in a real static runtime.
+// Each copy starts as soon as its processor is free and the data from its
+// designated source copies has arrived; actual execution times are the
+// estimates perturbed multiplicatively by the noise factor.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+)
+
+// Config controls a replay.
+type Config struct {
+	// Noise is the maximum relative execution-time perturbation: every
+	// copy's actual duration is estimate × (1 + Noise×u) with u uniform in
+	// [−1, 1). Zero replays estimates exactly. Must lie in [0, 1).
+	Noise float64
+	// Seed drives the perturbation; runs are deterministic per seed.
+	Seed int64
+	// Contention switches communication to the one-port model: every
+	// processor has a single send port and a single receive port, and
+	// inter-processor transfers serialize on both. The scheduling
+	// algorithms all assume the contention-free (multi-port) model, so a
+	// contended replay measures how optimistic a schedule's makespan is
+	// on a network that serializes transfers. Transfers are issued in the
+	// consumers' scheduled-start order.
+	Contention bool
+}
+
+// Report is the outcome of one replay.
+type Report struct {
+	// Makespan is the latest actual finish time of any primary copy.
+	Makespan float64
+	// Start and Finish give actual times of every task's primary copy.
+	Start, Finish []float64
+	// BusyTime is the total executing time per processor (including
+	// duplicates); Utilization divides it by the makespan.
+	BusyTime    []float64
+	Utilization []float64
+	// Stretch is the replayed makespan divided by the analytic one.
+	Stretch float64
+	// Transfers counts inter-processor data transfers; SendTime is the
+	// total time each processor's send port was busy (only meaningful
+	// with Contention, where ports serialize).
+	Transfers int
+	SendTime  []float64
+}
+
+// Run replays the schedule under cfg.
+func Run(s *sched.Schedule, cfg Config) (Report, error) {
+	if cfg.Noise < 0 || cfg.Noise >= 1 {
+		return Report{}, fmt.Errorf("sim: noise %g out of [0,1)", cfg.Noise)
+	}
+	in := s.Instance()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Collect all copies in global scheduled-start order. Every copy a
+	// consumer reads from finishes (in the schedule) before the consumer
+	// starts, so this order is a valid computation order.
+	type copyRef struct {
+		a        sched.Assignment
+		procSlot int // index within its processor's timeline
+	}
+	var copies []copyRef
+	for p := 0; p < in.P(); p++ {
+		for k, a := range s.OnProc(p) {
+			copies = append(copies, copyRef{a: a, procSlot: k})
+		}
+	}
+	sort.SliceStable(copies, func(x, y int) bool {
+		if copies[x].a.Start != copies[y].a.Start {
+			return copies[x].a.Start < copies[y].a.Start
+		}
+		return copies[x].a.Proc < copies[y].a.Proc
+	})
+	// Perturbed durations, drawn in deterministic copy order.
+	durs := make([]float64, len(copies))
+	for i, c := range copies {
+		d := c.a.Duration()
+		if cfg.Noise > 0 {
+			d *= 1 + cfg.Noise*(2*rng.Float64()-1)
+		}
+		durs[i] = d
+	}
+	// Routing fixed at schedule time: for consumer copy c and predecessor
+	// task m, the source is the copy of m with the earliest *scheduled*
+	// arrival at c's processor.
+	route := func(c sched.Assignment, m dag.TaskID, data float64) sched.Assignment {
+		var best sched.Assignment
+		bestT := math.Inf(1)
+		for _, d := range s.Copies(m) {
+			if t := d.Finish + in.Sys.CommCost(d.Proc, c.Proc, data); t < bestT {
+				bestT, best = t, d
+			}
+		}
+		return best
+	}
+	// Actual finish per (task, proc) copy: keyed by the scheduled start,
+	// which identifies a copy uniquely on its processor.
+	type key struct {
+		task  dag.TaskID
+		proc  int
+		start float64
+	}
+	actualFinish := make(map[key]float64, len(copies))
+	procFree := make([]float64, in.P())
+	busy := make([]float64, in.P())
+	sendFree := make([]float64, in.P())
+	recvFree := make([]float64, in.P())
+	sendBusy := make([]float64, in.P())
+	rep := Report{
+		Start:  make([]float64, in.N()),
+		Finish: make([]float64, in.N()),
+	}
+	for i, c := range copies {
+		ready := 0.0
+		for _, pe := range in.G.Pred(c.a.Task) {
+			src := route(c.a, pe.To, pe.Data)
+			f, ok := actualFinish[key{src.Task, src.Proc, src.Start}]
+			if !ok {
+				return Report{}, fmt.Errorf("sim: copy of task %d consumed before its source (task %d on P%d) ran", c.a.Task, src.Task, src.Proc)
+			}
+			var arrival float64
+			if src.Proc == c.a.Proc {
+				arrival = f
+			} else {
+				dur := in.Sys.CommCost(src.Proc, c.a.Proc, pe.Data)
+				if cfg.Contention {
+					xferStart := math.Max(f, math.Max(sendFree[src.Proc], recvFree[c.a.Proc]))
+					arrival = xferStart + dur
+					sendFree[src.Proc] = arrival
+					recvFree[c.a.Proc] = arrival
+					sendBusy[src.Proc] += dur
+				} else {
+					arrival = f + dur
+				}
+				rep.Transfers++
+			}
+			if arrival > ready {
+				ready = arrival
+			}
+		}
+		start := math.Max(ready, procFree[c.a.Proc])
+		finish := start + durs[i]
+		procFree[c.a.Proc] = finish
+		busy[c.a.Proc] += durs[i]
+		actualFinish[key{c.a.Task, c.a.Proc, c.a.Start}] = finish
+		if !c.a.Dup {
+			rep.Start[c.a.Task] = start
+			rep.Finish[c.a.Task] = finish
+			if finish > rep.Makespan {
+				rep.Makespan = finish
+			}
+		}
+	}
+	rep.BusyTime = busy
+	rep.SendTime = sendBusy
+	rep.Utilization = make([]float64, in.P())
+	for p := range busy {
+		if rep.Makespan > 0 {
+			rep.Utilization[p] = busy[p] / rep.Makespan
+		}
+	}
+	if s.Makespan() > 0 {
+		rep.Stretch = rep.Makespan / s.Makespan()
+	} else {
+		rep.Stretch = 1
+	}
+	return rep, nil
+}

@@ -1,0 +1,146 @@
+// Package testfix provides shared test fixtures: the canonical ten-task
+// example of the HEFT paper (Topcuoglu, Hariri, Wu; TPDS 2002, Fig. 1) and
+// batteries of random instances used by cross-algorithm property tests.
+package testfix
+
+import (
+	"math/rand"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+	"dagsched/internal/sched"
+	"dagsched/internal/workload"
+)
+
+// Topcuoglu returns the ten-task, three-processor instance from Figure 1
+// of the HEFT paper. Known reference values: rank_u(n1) = 108, HEFT
+// makespan 80, CPOP makespan 86.
+func Topcuoglu() *sched.Instance {
+	b := dag.NewBuilder("topcuoglu-fig1")
+	// Nominal weights are irrelevant: the cost matrix below is explicit.
+	ids := make([]dag.TaskID, 11) // 1-based
+	for i := 1; i <= 10; i++ {
+		ids[i] = b.AddTask("", 1)
+	}
+	edges := []struct {
+		from, to int
+		data     float64
+	}{
+		{1, 2, 18}, {1, 3, 12}, {1, 4, 9}, {1, 5, 11}, {1, 6, 14},
+		{2, 8, 19}, {2, 9, 16},
+		{3, 7, 23},
+		{4, 8, 27}, {4, 9, 23},
+		{5, 9, 13},
+		{6, 8, 15},
+		{7, 10, 17}, {8, 10, 11}, {9, 10, 13},
+	}
+	for _, e := range edges {
+		b.AddEdge(ids[e.from], ids[e.to], e.data)
+	}
+	g := b.MustBuild()
+	sys := platform.Homogeneous(3, 0, 1) // comm cost = edge data across procs
+	w := [][]float64{
+		{14, 16, 9},
+		{13, 19, 18},
+		{11, 13, 19},
+		{13, 8, 17},
+		{12, 13, 10},
+		{13, 16, 9},
+		{7, 15, 11},
+		{5, 11, 14},
+		{18, 12, 20},
+		{21, 7, 16},
+	}
+	in, err := sched.NewInstance(g, sys, w)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// BatteryConfig controls the random-instance battery.
+type BatteryConfig struct {
+	Trials   int
+	MaxTasks int     // tasks drawn from [2, MaxTasks]
+	MaxProcs int     // processors drawn from [1, MaxProcs]
+	MaxCCR   float64 // CCR drawn from (0, MaxCCR]
+	MaxBeta  float64 // heterogeneity drawn from [0, MaxBeta]
+	Seed     int64
+}
+
+// Battery calls fn with a fresh random instance per trial, covering small
+// and medium DAGs, homogeneous and heterogeneous matrices, low and high
+// CCR. Instances are deterministic for a fixed seed.
+func Battery(cfg BatteryConfig, fn func(trial int, in *sched.Instance)) {
+	if cfg.Trials == 0 {
+		cfg.Trials = 30
+	}
+	if cfg.MaxTasks == 0 {
+		cfg.MaxTasks = 50
+	}
+	if cfg.MaxProcs == 0 {
+		cfg.MaxProcs = 6
+	}
+	if cfg.MaxCCR == 0 {
+		cfg.MaxCCR = 10
+	}
+	if cfg.MaxBeta == 0 {
+		cfg.MaxBeta = 1.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		n := 2 + rng.Intn(cfg.MaxTasks-1)
+		g, err := workload.Random(workload.RandomConfig{
+			N:         n,
+			Shape:     0.5 + rng.Float64()*1.5,
+			OutDegree: 1 + rng.Intn(5),
+		}, rng)
+		if err != nil {
+			panic(err)
+		}
+		in, err := workload.MakeInstance(g, workload.HetConfig{
+			Procs: 1 + rng.Intn(cfg.MaxProcs),
+			CCR:   rng.Float64() * cfg.MaxCCR,
+			Beta:  rng.Float64() * cfg.MaxBeta,
+		}, rng)
+		if err != nil {
+			panic(err)
+		}
+		fn(trial, in)
+	}
+}
+
+// AppGraphs returns one representative instance of every application
+// workload, heterogeneous, for integration tests.
+func AppGraphs(procs int, seed int64) []*sched.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	var gs []*dag.Graph
+	add := func(g *dag.Graph, err error) {
+		if err != nil {
+			panic(err)
+		}
+		gs = append(gs, g)
+	}
+	add(workload.GaussianElimination(6))
+	add(workload.FFT(8))
+	add(workload.Laplace(4))
+	add(workload.ForkJoin(4, 2))
+	add(workload.OutTree(2, 4))
+	add(workload.InTree(2, 4))
+	add(workload.Pipeline([]int{2, 4, 2}))
+	add(workload.Montage(5))
+	add(workload.Cholesky(4))
+	add(workload.LU(3))
+	add(workload.Epigenomics(2, 2))
+	add(workload.CyberShake(4))
+	add(workload.LIGO(2, 3))
+	var out []*sched.Instance
+	for _, g := range gs {
+		in, err := workload.MakeInstance(g, workload.HetConfig{Procs: procs, CCR: 1, Beta: 0.75}, rng)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dagsched/internal/dag"
+)
+
+// GaussianElimination returns the classic Gaussian-elimination task graph
+// for an m×m matrix (m >= 2), the application DAG used by the HEFT paper
+// and most of its successors. For every elimination step k there is one
+// pivot task T(k) and, for every column j > k, one update task T(k,j):
+//
+//	T(k)   -> T(k,j)       (the pivot row is broadcast to all updates)
+//	T(k,k+1) -> T(k+1)     (the next pivot waits for its column's update)
+//	T(k,j) -> T(k+1,j)     (updates chain down the columns)
+//
+// giving (m² + m − 2)/2 tasks. Task weights shrink with the remaining
+// submatrix: pivot work ∝ (m−k), update work ∝ 2(m−k); edge data ∝ the
+// transferred row fragment (m−k).
+func GaussianElimination(m int) (*dag.Graph, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("workload: gaussian elimination needs m >= 2, got %d", m)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("gauss-m%d", m))
+	pivot := make([]dag.TaskID, m) // pivot[k], valid for k = 1..m-1
+	update := make([]map[int]dag.TaskID, m)
+	for k := 1; k < m; k++ {
+		rem := float64(m - k)
+		pivot[k] = b.AddTask(fmt.Sprintf("piv%d", k), rem)
+		update[k] = make(map[int]dag.TaskID)
+		for j := k + 1; j <= m; j++ {
+			update[k][j] = b.AddTask(fmt.Sprintf("upd%d,%d", k, j), 2*rem)
+		}
+	}
+	for k := 1; k < m; k++ {
+		rem := float64(m - k)
+		for j := k + 1; j <= m; j++ {
+			b.AddEdge(pivot[k], update[k][j], rem)
+		}
+		if k+1 < m {
+			b.AddEdge(update[k][k+1], pivot[k+1], rem)
+			for j := k + 2; j <= m; j++ {
+				b.AddEdge(update[k][j], update[k+1][j], rem)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// FFT returns the n-point fast-Fourier-transform butterfly DAG (n a power
+// of two): log2(n)+1 levels of n tasks, where task (l, i) for l >= 1
+// depends on tasks (l−1, i) and (l−1, i XOR 2^(l−1)). All tasks carry unit
+// butterfly work and all edges carry unit data.
+func FFT(n int) (*dag.Graph, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("workload: FFT needs a power-of-two point count >= 2, got %d", n)
+	}
+	stages := int(math.Log2(float64(n)))
+	b := dag.NewBuilder(fmt.Sprintf("fft-%d", n))
+	prev := make([]dag.TaskID, n)
+	for i := 0; i < n; i++ {
+		prev[i] = b.AddTask(fmt.Sprintf("in%d", i), 1)
+	}
+	for l := 1; l <= stages; l++ {
+		cur := make([]dag.TaskID, n)
+		for i := 0; i < n; i++ {
+			cur[i] = b.AddTask(fmt.Sprintf("bf%d,%d", l, i), 1)
+		}
+		for i := 0; i < n; i++ {
+			b.AddEdge(prev[i], cur[i], 1)
+			b.AddEdge(prev[i^(1<<(l-1))], cur[i], 1)
+		}
+		prev = cur
+	}
+	return b.Build()
+}
+
+// Laplace returns the g×g wavefront task graph of a Laplace-equation
+// sweep (Gauss–Seidel order): task (i,j) depends on (i−1,j) and (i,j−1).
+// All tasks carry unit work, all edges unit data.
+func Laplace(g int) (*dag.Graph, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("workload: laplace needs grid >= 1, got %d", g)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("laplace-%d", g))
+	id := make([][]dag.TaskID, g)
+	for i := 0; i < g; i++ {
+		id[i] = make([]dag.TaskID, g)
+		for j := 0; j < g; j++ {
+			id[i][j] = b.AddTask(fmt.Sprintf("c%d,%d", i, j), 1)
+		}
+	}
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			if i > 0 {
+				b.AddEdge(id[i-1][j], id[i][j], 1)
+			}
+			if j > 0 {
+				b.AddEdge(id[i][j-1], id[i][j], 1)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"dagsched/internal/dag"
+)
+
+const sampleDAX = `<?xml version="1.0" encoding="UTF-8"?>
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" name="mini-montage" jobCount="4">
+  <job id="ID00000" name="mProjectPP" runtime="13.59">
+    <uses file="raw1.fits" link="input" size="4000000"/>
+    <uses file="proj1.fits" link="output" size="8000000"/>
+  </job>
+  <job id="ID00001" name="mProjectPP" runtime="11.25">
+    <uses file="raw2.fits" link="input" size="4000000"/>
+    <uses file="proj2.fits" link="output" size="8000000"/>
+  </job>
+  <job id="ID00002" name="mDiffFit" runtime="2.34">
+    <uses file="proj1.fits" link="input" size="8000000"/>
+    <uses file="proj2.fits" link="input" size="8000000"/>
+    <uses file="diff.fits" link="output" size="1000000"/>
+  </job>
+  <job id="ID00003" name="mConcatFit" runtime="5.0">
+    <uses file="diff.fits" link="input" size="1000000"/>
+  </job>
+  <child ref="ID00002">
+    <parent ref="ID00000"/>
+    <parent ref="ID00001"/>
+  </child>
+  <child ref="ID00003">
+    <parent ref="ID00002"/>
+  </child>
+</adag>`
+
+func TestReadDAX(t *testing.T) {
+	g, err := ReadDAX(strings.NewReader(sampleDAX), DAXOptions{DataScale: 1e-6})
+	if err != nil {
+		t.Fatalf("ReadDAX: %v", err)
+	}
+	if g.Name() != "mini-montage" {
+		t.Fatalf("Name = %q", g.Name())
+	}
+	if g.Len() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("shape = %d tasks %d edges", g.Len(), g.NumEdges())
+	}
+	if got := g.Task(0).Weight; got != 13.59 {
+		t.Fatalf("runtime = %g", got)
+	}
+	if got := g.Task(0).Name; got != "mProjectPP" {
+		t.Fatalf("name = %q", got)
+	}
+	// Edge ID00000 -> ID00002 carries proj1.fits: 8 MB after scaling.
+	if d, ok := g.EdgeData(0, 2); !ok || d != 8 {
+		t.Fatalf("edge data = %g,%v, want 8", d, ok)
+	}
+	if d, ok := g.EdgeData(2, 3); !ok || d != 1 {
+		t.Fatalf("edge data = %g,%v, want 1", d, ok)
+	}
+	if e := g.Exits(); len(e) != 1 || g.Task(e[0]).Name != "mConcatFit" {
+		t.Fatalf("Exits = %v", e)
+	}
+}
+
+func TestReadDAXDefaults(t *testing.T) {
+	in := `<adag name="x">
+	  <job id="a"/>
+	  <job id="b"/>
+	  <child ref="b"><parent ref="a"/></child>
+	</adag>`
+	g, err := ReadDAX(strings.NewReader(in), DAXOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Task(0).Weight != 1 {
+		t.Fatalf("default runtime = %g", g.Task(0).Weight)
+	}
+	if g.Task(0).Name != "a" {
+		t.Fatalf("fallback label = %q", g.Task(0).Name)
+	}
+	// No shared files: zero-data edge, still a precedence.
+	if d, ok := g.EdgeData(0, 1); !ok || d != 0 {
+		t.Fatalf("edge = %g,%v", d, ok)
+	}
+}
+
+func TestReadDAXErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":        `{`,
+		"no jobs":        `<adag name="x"></adag>`,
+		"dup id":         `<adag><job id="a"/><job id="a"/></adag>`,
+		"unknown child":  `<adag><job id="a"/><child ref="zz"><parent ref="a"/></child></adag>`,
+		"unknown parent": `<adag><job id="a"/><child ref="a"><parent ref="zz"/></child></adag>`,
+		"cycle": `<adag><job id="a"/><job id="b"/>
+		  <child ref="b"><parent ref="a"/></child>
+		  <child ref="a"><parent ref="b"/></child></adag>`,
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadDAX(strings.NewReader(in), DAXOptions{}); err == nil {
+				t.Fatal("accepted")
+			}
+		})
+	}
+}
+
+func TestDAXSchedulesEndToEnd(t *testing.T) {
+	g, err := ReadDAX(strings.NewReader(sampleDAX), DAXOptions{DataScale: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []dag.TaskID
+	for _, task := range g.Tasks() {
+		ids = append(ids, task.ID)
+	}
+	if len(ids) != 4 {
+		t.Fatal("bad task list")
+	}
+}

@@ -1,0 +1,125 @@
+// Package workload generates the task graphs and problem instances of the
+// evaluation: the Topcuoglu-parameterized random DAGs and the canonical
+// application graphs of the static-scheduling literature (Gaussian
+// elimination, FFT, Laplace), plus structured graphs (fork-join, trees,
+// pipelines) and tiled dense solvers (Cholesky, LU) as realistic
+// extensions.
+//
+// Generators return plain task graphs with nominal weights and data
+// volumes; MakeInstance turns a graph into a concrete problem by scaling
+// communication to a target CCR and drawing a heterogeneous cost matrix.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+	"dagsched/internal/sched"
+)
+
+// WithCCR returns a copy of g whose edge data volumes are rescaled so that
+// the mean edge communication cost on sys equals ccr times the mean
+// nominal task weight. With zero-latency links the realized CCR of the
+// resulting instance matches exactly; with startup latency the scaling
+// accounts for it, clamping at zero data when latency alone already
+// exceeds the target.
+func WithCCR(g *dag.Graph, sys *platform.System, ccr float64) (*dag.Graph, error) {
+	if ccr < 0 {
+		return nil, fmt.Errorf("workload: negative CCR %g", ccr)
+	}
+	edges := g.Edges()
+	if len(edges) == 0 || sys.Len() < 2 {
+		return g, nil
+	}
+	meanW := g.TotalWeight() / float64(g.Len())
+	var meanData float64
+	for _, e := range edges {
+		meanData += e.Data
+	}
+	meanData /= float64(len(edges))
+	// Mean comm cost of one data unit and of zero data (pure latency).
+	unitCost := sys.MeanCommCost(1) - sys.MeanCommCost(0)
+	latency := sys.MeanCommCost(0)
+	target := ccr * meanW
+	var factor float64
+	switch {
+	case meanData == 0 || unitCost == 0:
+		factor = 0
+	case target <= latency:
+		factor = 0
+	default:
+		factor = (target - latency) / (unitCost * meanData)
+	}
+	b := dag.NewBuilder(g.Name())
+	for _, t := range g.Tasks() {
+		b.AddTask(t.Name, t.Weight)
+	}
+	for _, e := range edges {
+		b.AddEdge(e.From, e.To, e.Data*factor)
+	}
+	return b.Build()
+}
+
+// HetConfig describes how MakeInstance turns a graph into an instance.
+type HetConfig struct {
+	// Procs is the processor count (required).
+	Procs int
+	// CCR is the target communication-to-computation ratio (0 keeps the
+	// graph's natural data volumes unscaled).
+	CCR float64
+	// Beta is the cost-matrix heterogeneity of sched.Unrelated in [0, 2);
+	// 0 yields a homogeneous cost matrix.
+	Beta float64
+	// Latency is the per-message startup cost on every link.
+	Latency float64
+	// LinkSpread makes the network heterogeneous: each directed link's
+	// time-per-unit is drawn uniformly from [1−s/2, 1+s/2] (mean 1). Must
+	// lie in [0, 2); 0 keeps all links identical.
+	LinkSpread float64
+}
+
+// MakeInstance builds a ready-to-schedule instance: a unit-speed fully
+// connected system with cfg.Procs processors, edge data scaled to cfg.CCR
+// (when non-zero) and an unrelated cost matrix drawn with cfg.Beta.
+func MakeInstance(g *dag.Graph, cfg HetConfig, rng *rand.Rand) (*sched.Instance, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("workload: invalid processor count %d", cfg.Procs)
+	}
+	if cfg.LinkSpread < 0 || cfg.LinkSpread >= 2 {
+		return nil, fmt.Errorf("workload: link spread %g out of [0,2)", cfg.LinkSpread)
+	}
+	var sys *platform.System
+	if cfg.LinkSpread == 0 {
+		sys = platform.Homogeneous(cfg.Procs, cfg.Latency, 1)
+	} else {
+		speeds := make([]float64, cfg.Procs)
+		invRate := make([][]float64, cfg.Procs)
+		for i := range speeds {
+			speeds[i] = 1
+			invRate[i] = make([]float64, cfg.Procs)
+			for j := range invRate[i] {
+				if i != j {
+					invRate[i][j] = 1 + cfg.LinkSpread*(rng.Float64()-0.5)
+				}
+			}
+		}
+		var err error
+		sys, err = platform.New(platform.Config{
+			Speeds: speeds, Latency: cfg.Latency, InvRateMatrix: invRate,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	scaled := g
+	if cfg.CCR > 0 {
+		var err error
+		scaled, err = WithCCR(g, sys, cfg.CCR)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sched.Unrelated(scaled, sys, cfg.Beta, rng)
+}

@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+
+	"dagsched/internal/dag"
+)
+
+// ForkJoin returns a fork-join graph: a fork task fans out to branches
+// chains of length stages, all joining into a final task. Branch tasks
+// carry unit work; the fork and join carry weight equal to the branch
+// count (they gather/scatter); edges carry unit data.
+func ForkJoin(branches, stages int) (*dag.Graph, error) {
+	if branches < 1 || stages < 1 {
+		return nil, fmt.Errorf("workload: fork-join needs branches, stages >= 1 (got %d, %d)", branches, stages)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("forkjoin-%dx%d", branches, stages))
+	fork := b.AddTask("fork", float64(branches))
+	last := make([]dag.TaskID, branches)
+	for s := 0; s < stages; s++ {
+		for br := 0; br < branches; br++ {
+			id := b.AddTask(fmt.Sprintf("b%d.%d", br, s), 1)
+			if s == 0 {
+				b.AddEdge(fork, id, 1)
+			} else {
+				b.AddEdge(last[br], id, 1)
+			}
+			last[br] = id
+		}
+	}
+	join := b.AddTask("join", float64(branches))
+	for _, l := range last {
+		b.AddEdge(l, join, 1)
+	}
+	return b.Build()
+}
+
+// OutTree returns a complete out-tree (broadcast tree) of the given fanout
+// and depth: depth 1 is a single root. All tasks carry unit work, edges
+// unit data.
+func OutTree(fanout, depth int) (*dag.Graph, error) {
+	if fanout < 1 || depth < 1 {
+		return nil, fmt.Errorf("workload: out-tree needs fanout, depth >= 1 (got %d, %d)", fanout, depth)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("outtree-f%dd%d", fanout, depth))
+	level := []dag.TaskID{b.AddTask("root", 1)}
+	for d := 1; d < depth; d++ {
+		var next []dag.TaskID
+		for _, parent := range level {
+			for k := 0; k < fanout; k++ {
+				id := b.AddTask("", 1)
+				b.AddEdge(parent, id, 1)
+				next = append(next, id)
+			}
+		}
+		level = next
+	}
+	return b.Build()
+}
+
+// InTree returns a complete in-tree (reduction tree): the mirror image of
+// OutTree, leaves first, a single exit root.
+func InTree(fanout, depth int) (*dag.Graph, error) {
+	if fanout < 1 || depth < 1 {
+		return nil, fmt.Errorf("workload: in-tree needs fanout, depth >= 1 (got %d, %d)", fanout, depth)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("intree-f%dd%d", fanout, depth))
+	if fanout == 1 {
+		// Degenerate chain.
+		prev := b.AddTask("", 1)
+		for d := 1; d < depth; d++ {
+			id := b.AddTask("", 1)
+			b.AddEdge(prev, id, 1)
+			prev = id
+		}
+		return b.Build()
+	}
+	// Leaves of a complete tree of the given depth.
+	width := 1
+	for d := 1; d < depth; d++ {
+		width *= fanout
+	}
+	level := make([]dag.TaskID, width)
+	for i := range level {
+		level[i] = b.AddTask("", 1)
+	}
+	for len(level) > 1 {
+		next := make([]dag.TaskID, len(level)/fanout)
+		for i := range next {
+			next[i] = b.AddTask("", 1)
+			for k := 0; k < fanout; k++ {
+				b.AddEdge(level[i*fanout+k], next[i], 1)
+			}
+		}
+		level = next
+	}
+	return b.Build()
+}
+
+// Pipeline returns a layered pipeline: stages layers whose widths are
+// given, with every task of one layer feeding every task of the next
+// (an all-to-all shuffle between stages). Weights and data are unit.
+func Pipeline(widths []int) (*dag.Graph, error) {
+	if len(widths) == 0 {
+		return nil, fmt.Errorf("workload: pipeline needs at least one stage")
+	}
+	for i, w := range widths {
+		if w < 1 {
+			return nil, fmt.Errorf("workload: pipeline stage %d has width %d", i, w)
+		}
+	}
+	b := dag.NewBuilder(fmt.Sprintf("pipeline-%d", len(widths)))
+	var prev []dag.TaskID
+	for s, w := range widths {
+		cur := make([]dag.TaskID, w)
+		for i := 0; i < w; i++ {
+			cur[i] = b.AddTask(fmt.Sprintf("s%d.%d", s, i), 1)
+		}
+		for _, u := range prev {
+			for _, v := range cur {
+				b.AddEdge(u, v, 1)
+			}
+		}
+		prev = cur
+	}
+	return b.Build()
+}
+
+// Montage returns a simplified Montage-style astronomy workflow of the
+// shape used in workflow-scheduling studies: n project tasks feed ~2n
+// overlap-difference tasks, which funnel into a fit task, a model task,
+// n background tasks, an add task and a final publish task. Weights
+// reflect the relative stage costs; edges carry image-sized data.
+func Montage(n int) (*dag.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: montage needs n >= 2, got %d", n)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("montage-%d", n))
+	project := make([]dag.TaskID, n)
+	for i := range project {
+		project[i] = b.AddTask(fmt.Sprintf("project%d", i), 4)
+	}
+	// Differences between neighbouring overlaps (ring): n pairs, plus the
+	// diagonal pairs for 2n-ish total.
+	var diffs []dag.TaskID
+	addDiff := func(a, c int) {
+		d := b.AddTask(fmt.Sprintf("diff%d-%d", a, c), 1)
+		b.AddEdge(project[a], d, 2)
+		b.AddEdge(project[c], d, 2)
+		diffs = append(diffs, d)
+	}
+	for i := 0; i < n; i++ {
+		addDiff(i, (i+1)%n)
+	}
+	for i := 0; i+2 < n; i += 2 {
+		addDiff(i, i+2)
+	}
+	fit := b.AddTask("fit", 2)
+	for _, d := range diffs {
+		b.AddEdge(d, fit, 1)
+	}
+	model := b.AddTask("model", 8)
+	b.AddEdge(fit, model, 1)
+	background := make([]dag.TaskID, n)
+	for i := range background {
+		background[i] = b.AddTask(fmt.Sprintf("bg%d", i), 2)
+		b.AddEdge(model, background[i], 1)
+		b.AddEdge(project[i], background[i], 2)
+	}
+	add := b.AddTask("add", float64(n))
+	for _, bg := range background {
+		b.AddEdge(bg, add, 4)
+	}
+	publish := b.AddTask("publish", 2)
+	b.AddEdge(add, publish, 8)
+	return b.Build()
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+
+	"dagsched/internal/dag"
+)
+
+// Tiled dense linear algebra DAGs, the modern workhorses of task-based
+// runtimes (PLASMA/StarPU-style). Task weights are proportional to kernel
+// flop counts for unit tile size: POTRF 1, TRSM 3, SYRK 3, GEMM 6 (and
+// GETRF 2 for LU); edges carry one tile of data.
+
+const tileData = 1.0
+
+// Cholesky returns the tiled Cholesky factorization DAG for a t×t tile
+// matrix:
+//
+//	for k = 0..t-1:
+//	  POTRF(k)              after SYRK(k,k-1)
+//	  TRSM(i,k)  for i > k  after POTRF(k), GEMM(i,k,k-1)
+//	  SYRK(i,k)  for i > k  after TRSM(i,k), SYRK(i,k-1)        (tile (i,i))
+//	  GEMM(i,j,k) for i>j>k after TRSM(i,k), TRSM(j,k), GEMM(i,j,k-1)
+func Cholesky(t int) (*dag.Graph, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("workload: cholesky needs t >= 1 tiles, got %d", t)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("cholesky-t%d", t))
+	potrf := make([]dag.TaskID, t)
+	trsm := make(map[[2]int]dag.TaskID) // (i,k)
+	syrk := make(map[[2]int]dag.TaskID) // (i,k): update of tile (i,i) at step k
+	gemm := make(map[[3]int]dag.TaskID) // (i,j,k): update of tile (i,j) at step k
+	for k := 0; k < t; k++ {
+		potrf[k] = b.AddTask(fmt.Sprintf("potrf%d", k), 1)
+		if k > 0 {
+			b.AddEdge(syrk[[2]int{k, k - 1}], potrf[k], tileData)
+		}
+		for i := k + 1; i < t; i++ {
+			id := b.AddTask(fmt.Sprintf("trsm%d,%d", i, k), 3)
+			trsm[[2]int{i, k}] = id
+			b.AddEdge(potrf[k], id, tileData)
+			if k > 0 {
+				b.AddEdge(gemm[[3]int{i, k, k - 1}], id, tileData)
+			}
+		}
+		for i := k + 1; i < t; i++ {
+			id := b.AddTask(fmt.Sprintf("syrk%d,%d", i, k), 3)
+			syrk[[2]int{i, k}] = id
+			b.AddEdge(trsm[[2]int{i, k}], id, tileData)
+			if k > 0 {
+				b.AddEdge(syrk[[2]int{i, k - 1}], id, tileData)
+			}
+			for j := k + 1; j < i; j++ {
+				g := b.AddTask(fmt.Sprintf("gemm%d,%d,%d", i, j, k), 6)
+				gemm[[3]int{i, j, k}] = g
+				b.AddEdge(trsm[[2]int{i, k}], g, tileData)
+				b.AddEdge(trsm[[2]int{j, k}], g, tileData)
+				if k > 0 {
+					b.AddEdge(gemm[[3]int{i, j, k - 1}], g, tileData)
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// LU returns the tiled LU factorization DAG (no pivoting) for a t×t tile
+// matrix:
+//
+//	for k = 0..t-1:
+//	  GETRF(k)                 after GEMM(k,k,k-1)
+//	  TRSMR(k,j) for j > k     after GETRF(k), GEMM(k,j,k-1)   (row panel)
+//	  TRSMC(i,k) for i > k     after GETRF(k), GEMM(i,k,k-1)   (column panel)
+//	  GEMM(i,j,k) for i,j > k  after TRSMC(i,k), TRSMR(k,j), GEMM(i,j,k-1)
+func LU(t int) (*dag.Graph, error) {
+	if t < 1 {
+		return nil, fmt.Errorf("workload: lu needs t >= 1 tiles, got %d", t)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("lu-t%d", t))
+	getrf := make([]dag.TaskID, t)
+	trsmR := make(map[[2]int]dag.TaskID) // (k,j)
+	trsmC := make(map[[2]int]dag.TaskID) // (i,k)
+	gemm := make(map[[3]int]dag.TaskID)  // (i,j,k)
+	for k := 0; k < t; k++ {
+		getrf[k] = b.AddTask(fmt.Sprintf("getrf%d", k), 2)
+		if k > 0 {
+			b.AddEdge(gemm[[3]int{k, k, k - 1}], getrf[k], tileData)
+		}
+		for j := k + 1; j < t; j++ {
+			id := b.AddTask(fmt.Sprintf("trsmr%d,%d", k, j), 3)
+			trsmR[[2]int{k, j}] = id
+			b.AddEdge(getrf[k], id, tileData)
+			if k > 0 {
+				b.AddEdge(gemm[[3]int{k, j, k - 1}], id, tileData)
+			}
+		}
+		for i := k + 1; i < t; i++ {
+			id := b.AddTask(fmt.Sprintf("trsmc%d,%d", i, k), 3)
+			trsmC[[2]int{i, k}] = id
+			b.AddEdge(getrf[k], id, tileData)
+			if k > 0 {
+				b.AddEdge(gemm[[3]int{i, k, k - 1}], id, tileData)
+			}
+		}
+		for i := k + 1; i < t; i++ {
+			for j := k + 1; j < t; j++ {
+				g := b.AddTask(fmt.Sprintf("gemm%d,%d,%d", i, j, k), 6)
+				gemm[[3]int{i, j, k}] = g
+				b.AddEdge(trsmC[[2]int{i, k}], g, tileData)
+				b.AddEdge(trsmR[[2]int{k, j}], g, tileData)
+				if k > 0 {
+					b.AddEdge(gemm[[3]int{i, j, k - 1}], g, tileData)
+				}
+			}
+		}
+	}
+	return b.Build()
+}

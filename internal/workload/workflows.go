@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+
+	"dagsched/internal/dag"
+)
+
+// Parametric generators for the Pegasus-style scientific workflows used
+// throughout the workflow-scheduling literature. The shapes follow the
+// published workflow characterizations (Bharathi et al., "Characterization
+// of scientific workflows"); weights encode the relative stage costs.
+
+// Epigenomics returns the genome-sequencing pipeline: lanes independent
+// fastq-split chains (filter → map → merge per lane), a global merge, and
+// the final indexing chain. Each lane processes chunk fan-out chunks.
+func Epigenomics(lanes, chunks int) (*dag.Graph, error) {
+	if lanes < 1 || chunks < 1 {
+		return nil, fmt.Errorf("workload: epigenomics needs lanes, chunks >= 1 (got %d, %d)", lanes, chunks)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("epigenomics-%dx%d", lanes, chunks))
+	globalMerge := dag.TaskID(-1)
+	laneMerges := make([]dag.TaskID, lanes)
+	for l := 0; l < lanes; l++ {
+		split := b.AddTask(fmt.Sprintf("fastqSplit%d", l), 2)
+		laneMerge := b.AddTask(fmt.Sprintf("mergeLane%d", l), 4)
+		for c := 0; c < chunks; c++ {
+			filter := b.AddTask(fmt.Sprintf("filter%d.%d", l, c), 3)
+			sol := b.AddTask(fmt.Sprintf("sol2sanger%d.%d", l, c), 1)
+			fq := b.AddTask(fmt.Sprintf("fastq2bfq%d.%d", l, c), 1)
+			mapT := b.AddTask(fmt.Sprintf("map%d.%d", l, c), 12)
+			b.AddEdge(split, filter, 4)
+			b.AddEdge(filter, sol, 3)
+			b.AddEdge(sol, fq, 3)
+			b.AddEdge(fq, mapT, 3)
+			b.AddEdge(mapT, laneMerge, 2)
+		}
+		laneMerges[l] = laneMerge
+	}
+	globalMerge = b.AddTask("mergeAll", 6)
+	for _, m := range laneMerges {
+		b.AddEdge(m, globalMerge, 4)
+	}
+	index := b.AddTask("mapIndex", 3)
+	b.AddEdge(globalMerge, index, 6)
+	seq := b.AddTask("pileup", 5)
+	b.AddEdge(index, seq, 6)
+	return b.Build()
+}
+
+// CyberShake returns the seismic-hazard workflow: per-site extraction
+// feeding pairs of seismogram syntheses, peak-value post-processing per
+// seismogram, and a global hazard aggregation.
+func CyberShake(sites int) (*dag.Graph, error) {
+	if sites < 1 {
+		return nil, fmt.Errorf("workload: cybershake needs sites >= 1, got %d", sites)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("cybershake-%d", sites))
+	agg := b.AddTask("hazard", float64(sites))
+	for s := 0; s < sites; s++ {
+		extract := b.AddTask(fmt.Sprintf("extract%d", s), 4)
+		for k := 0; k < 2; k++ {
+			seis := b.AddTask(fmt.Sprintf("seis%d.%d", s, k), 10)
+			peak := b.AddTask(fmt.Sprintf("peak%d.%d", s, k), 1)
+			b.AddEdge(extract, seis, 8)
+			b.AddEdge(seis, peak, 2)
+			b.AddEdge(peak, agg, 1)
+		}
+	}
+	return b.Build()
+}
+
+// LIGO returns the gravitational-wave inspiral-analysis workflow: a
+// two-stage template-bank pipeline — groups of matched-filter tasks whose
+// results pass a coincidence test, then a second filtering stage and a
+// final trigger aggregation.
+func LIGO(groups, perGroup int) (*dag.Graph, error) {
+	if groups < 1 || perGroup < 1 {
+		return nil, fmt.Errorf("workload: ligo needs groups, perGroup >= 1 (got %d, %d)", groups, perGroup)
+	}
+	b := dag.NewBuilder(fmt.Sprintf("ligo-%dx%d", groups, perGroup))
+	final := dag.TaskID(-1)
+	var thincas []dag.TaskID
+	for g := 0; g < groups; g++ {
+		tmplt := b.AddTask(fmt.Sprintf("tmpltBank%d", g), 3)
+		thinca1 := b.AddTask(fmt.Sprintf("thinca1.%d", g), 2)
+		for i := 0; i < perGroup; i++ {
+			insp := b.AddTask(fmt.Sprintf("inspiral1.%d.%d", g, i), 9)
+			b.AddEdge(tmplt, insp, 3)
+			b.AddEdge(insp, thinca1, 2)
+		}
+		thinca2 := b.AddTask(fmt.Sprintf("thinca2.%d", g), 2)
+		for i := 0; i < perGroup; i++ {
+			trig := b.AddTask(fmt.Sprintf("trigBank%d.%d", g, i), 1)
+			insp2 := b.AddTask(fmt.Sprintf("inspiral2.%d.%d", g, i), 9)
+			b.AddEdge(thinca1, trig, 2)
+			b.AddEdge(trig, insp2, 3)
+			b.AddEdge(insp2, thinca2, 2)
+		}
+		thincas = append(thincas, thinca2)
+	}
+	final = b.AddTask("coherence", float64(groups))
+	for _, t := range thincas {
+		b.AddEdge(t, final, 2)
+	}
+	return b.Build()
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+)
+
+func TestEpigenomics(t *testing.T) {
+	g, err := Epigenomics(2, 3)
+	if err != nil {
+		t.Fatalf("Epigenomics: %v", err)
+	}
+	// Per lane: split + merge + 4 tasks per chunk; global: merge + index + pileup.
+	want := 2*(2+3*4) + 3
+	if g.Len() != want {
+		t.Fatalf("Len = %d, want %d", g.Len(), want)
+	}
+	// Single exit: the pileup task.
+	if x := g.Exits(); len(x) != 1 || g.Task(x[0]).Name != "pileup" {
+		t.Fatalf("Exits = %v", x)
+	}
+	// Entries: one split per lane.
+	if e := g.Entries(); len(e) != 2 {
+		t.Fatalf("Entries = %v", e)
+	}
+	if _, err := Epigenomics(0, 1); err == nil {
+		t.Fatal("0 lanes accepted")
+	}
+	if _, err := Epigenomics(1, 0); err == nil {
+		t.Fatal("0 chunks accepted")
+	}
+}
+
+func TestCyberShake(t *testing.T) {
+	g, err := CyberShake(5)
+	if err != nil {
+		t.Fatalf("CyberShake: %v", err)
+	}
+	// agg + per site: extract + 2*(seis+peak).
+	want := 1 + 5*(1+4)
+	if g.Len() != want {
+		t.Fatalf("Len = %d, want %d", g.Len(), want)
+	}
+	// The hazard task has 2 parents per site.
+	agg := dag.TaskID(0)
+	if g.Task(agg).Name != "hazard" {
+		t.Fatalf("task 0 = %q", g.Task(agg).Name)
+	}
+	if got := g.InDegree(agg); got != 10 {
+		t.Fatalf("hazard in-degree = %d, want 10", got)
+	}
+	if _, err := CyberShake(0); err == nil {
+		t.Fatal("0 sites accepted")
+	}
+}
+
+func TestLIGO(t *testing.T) {
+	g, err := LIGO(3, 4)
+	if err != nil {
+		t.Fatalf("LIGO: %v", err)
+	}
+	// Per group: tmplt + thinca1 + thinca2 + perGroup*(insp + trig + insp2); final coherence.
+	want := 3*(3+4*3) + 1
+	if g.Len() != want {
+		t.Fatalf("Len = %d, want %d", g.Len(), want)
+	}
+	if x := g.Exits(); len(x) != 1 || g.Task(x[0]).Name != "coherence" {
+		t.Fatalf("Exits = %v", x)
+	}
+	// Two-stage structure: height is 7 (tmplt, insp, thinca1, trig, insp2, thinca2, coherence).
+	if h := g.Height(); h != 7 {
+		t.Fatalf("Height = %d, want 7", h)
+	}
+	if _, err := LIGO(0, 1); err == nil {
+		t.Fatal("0 groups accepted")
+	}
+	if _, err := LIGO(1, 0); err == nil {
+		t.Fatal("0 perGroup accepted")
+	}
+}
+
+func TestMakeInstanceLinkSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, _ := Random(RandomConfig{N: 20}, rng)
+	in, err := MakeInstance(g, HetConfig{Procs: 4, CCR: 1, Beta: 0.5, LinkSpread: 1.0}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Links must differ and stay within the spread bounds.
+	distinct := false
+	ref := in.Sys.CommCost(0, 1, 1)
+	for p := 0; p < in.P(); p++ {
+		for q := 0; q < in.P(); q++ {
+			if p == q {
+				continue
+			}
+			c := in.Sys.CommCost(p, q, 1)
+			if c < 0.5-1e-9 || c > 1.5+1e-9 {
+				t.Fatalf("link %d->%d cost %g outside [0.5,1.5]", p, q, c)
+			}
+			if c != ref {
+				distinct = true
+			}
+		}
+	}
+	if !distinct {
+		t.Fatal("all links identical despite spread")
+	}
+	if _, err := MakeInstance(g, HetConfig{Procs: 2, LinkSpread: 2.5}, rng); err == nil {
+		t.Fatal("spread 2.5 accepted")
+	}
+}
+
+// All three schedule validly end to end.
+func TestWorkflowsSchedulable(t *testing.T) {
+	gens := []func() (*dag.Graph, error){
+		func() (*dag.Graph, error) { return Epigenomics(3, 2) },
+		func() (*dag.Graph, error) { return CyberShake(6) },
+		func() (*dag.Graph, error) { return LIGO(2, 5) },
+	}
+	for _, gen := range gens {
+		g, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Structure sanity shared by all workflows: connected levels, at
+		// least 3 levels, positive weights.
+		if g.Height() < 3 {
+			t.Fatalf("%s too shallow", g.Name())
+		}
+		for _, task := range g.Tasks() {
+			if task.Weight <= 0 {
+				t.Fatalf("%s task %d has weight %g", g.Name(), task.ID, task.Weight)
+			}
+		}
+	}
+}

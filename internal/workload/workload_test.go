@@ -1,0 +1,361 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+func TestRandomBasicShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := Random(RandomConfig{N: 100}, rng)
+	if err != nil {
+		t.Fatalf("Random: %v", err)
+	}
+	if g.Len() != 100 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	// Default α = 1: about sqrt(100) = 10 levels.
+	if h := g.Height(); h != 10 {
+		t.Fatalf("Height = %d, want 10", h)
+	}
+	// Out-degree bounded by the default 4.
+	for i := 0; i < g.Len(); i++ {
+		if d := g.OutDegree(dag.TaskID(i)); d > 4 {
+			t.Fatalf("task %d out-degree %d > 4", i, d)
+		}
+	}
+}
+
+func TestRandomShapeParameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	deep, _ := Random(RandomConfig{N: 100, Shape: 0.5}, rng)
+	wide, _ := Random(RandomConfig{N: 100, Shape: 2.0}, rng)
+	if deep.Height() <= wide.Height() {
+		t.Fatalf("α=0.5 height %d should exceed α=2 height %d", deep.Height(), wide.Height())
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, _ := Random(RandomConfig{N: 50}, rand.New(rand.NewSource(7)))
+	b, _ := Random(RandomConfig{N: 50}, rand.New(rand.NewSource(7)))
+	if a.Len() != b.Len() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestRandomConnectivityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(120)
+		g, err := Random(RandomConfig{N: n, Shape: 0.5 + rng.Float64()*1.5, OutDegree: 1 + rng.Intn(5)}, rng)
+		if err != nil {
+			t.Fatalf("Random: %v", err)
+		}
+		if g.Len() != n {
+			t.Fatalf("Len = %d, want %d", g.Len(), n)
+		}
+		levels := g.Levels()
+		// Any task at level > 0 has a parent; tasks at level 0 are entries.
+		for i := 0; i < n; i++ {
+			if levels[i] > 0 && g.InDegree(dag.TaskID(i)) == 0 {
+				t.Fatalf("trial %d: task %d at level %d has no parent", trial, i, levels[i])
+			}
+		}
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []RandomConfig{
+		{N: 0},
+		{N: 5, Shape: -1},
+		{N: 5, OutDegree: -2},
+		{N: 5, AvgComp: -3},
+		{N: 5, AvgData: -3},
+	}
+	for _, cfg := range bad {
+		if _, err := Random(cfg, rng); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestGaussianElimination(t *testing.T) {
+	g, err := GaussianElimination(5)
+	if err != nil {
+		t.Fatalf("GaussianElimination: %v", err)
+	}
+	// (m² + m − 2)/2 = (25 + 5 − 2)/2 = 14.
+	if g.Len() != 14 {
+		t.Fatalf("Len = %d, want 14", g.Len())
+	}
+	// Single entry (first pivot) and single exit (last update).
+	if e := g.Entries(); len(e) != 1 {
+		t.Fatalf("Entries = %v", e)
+	}
+	if x := g.Exits(); len(x) != 1 {
+		t.Fatalf("Exits = %v", x)
+	}
+	if _, err := GaussianElimination(1); err == nil {
+		t.Fatal("m=1 accepted")
+	}
+}
+
+func TestGaussianEliminationSizes(t *testing.T) {
+	for m := 2; m <= 12; m++ {
+		g, err := GaussianElimination(m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		want := (m*m + m - 2) / 2
+		if g.Len() != want {
+			t.Fatalf("m=%d: Len = %d, want %d", m, g.Len(), want)
+		}
+	}
+}
+
+func TestFFT(t *testing.T) {
+	g, err := FFT(8)
+	if err != nil {
+		t.Fatalf("FFT: %v", err)
+	}
+	// n*(log2(n)+1) = 8*4 = 32 tasks.
+	if g.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", g.Len())
+	}
+	if len(g.Entries()) != 8 || len(g.Exits()) != 8 {
+		t.Fatalf("entries/exits = %d/%d, want 8/8", len(g.Entries()), len(g.Exits()))
+	}
+	// Every non-input task has exactly two parents.
+	for i := 8; i < g.Len(); i++ {
+		if g.InDegree(dag.TaskID(i)) != 2 {
+			t.Fatalf("task %d in-degree = %d", i, g.InDegree(dag.TaskID(i)))
+		}
+	}
+	for _, n := range []int{0, 1, 3, 6} {
+		if _, err := FFT(n); err == nil {
+			t.Fatalf("FFT(%d) accepted", n)
+		}
+	}
+}
+
+func TestLaplace(t *testing.T) {
+	g, err := Laplace(4)
+	if err != nil {
+		t.Fatalf("Laplace: %v", err)
+	}
+	if g.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", g.Len())
+	}
+	// Wavefront: height = 2g-1.
+	if h := g.Height(); h != 7 {
+		t.Fatalf("Height = %d, want 7", h)
+	}
+	if _, err := Laplace(0); err == nil {
+		t.Fatal("g=0 accepted")
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	g, err := ForkJoin(4, 3)
+	if err != nil {
+		t.Fatalf("ForkJoin: %v", err)
+	}
+	if g.Len() != 4*3+2 {
+		t.Fatalf("Len = %d, want 14", g.Len())
+	}
+	if len(g.Entries()) != 1 || len(g.Exits()) != 1 {
+		t.Fatal("fork-join must have single entry and exit")
+	}
+	if _, err := ForkJoin(0, 1); err == nil {
+		t.Fatal("0 branches accepted")
+	}
+}
+
+func TestTrees(t *testing.T) {
+	out, err := OutTree(2, 4)
+	if err != nil {
+		t.Fatalf("OutTree: %v", err)
+	}
+	if out.Len() != 15 { // complete binary tree depth 4
+		t.Fatalf("OutTree Len = %d, want 15", out.Len())
+	}
+	in, err := InTree(2, 4)
+	if err != nil {
+		t.Fatalf("InTree: %v", err)
+	}
+	if in.Len() != 15 {
+		t.Fatalf("InTree Len = %d, want 15", in.Len())
+	}
+	if len(in.Exits()) != 1 {
+		t.Fatal("in-tree must have one exit")
+	}
+	if len(out.Entries()) != 1 {
+		t.Fatal("out-tree must have one entry")
+	}
+	chain, err := InTree(1, 5)
+	if err != nil {
+		t.Fatalf("InTree(1,5): %v", err)
+	}
+	if chain.Len() != 5 || chain.Height() != 5 {
+		t.Fatalf("InTree(1,5) = %d tasks height %d", chain.Len(), chain.Height())
+	}
+	if _, err := OutTree(0, 2); err == nil {
+		t.Fatal("fanout 0 accepted")
+	}
+	if _, err := InTree(2, 0); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	g, err := Pipeline([]int{2, 4, 4, 1})
+	if err != nil {
+		t.Fatalf("Pipeline: %v", err)
+	}
+	if g.Len() != 11 {
+		t.Fatalf("Len = %d, want 11", g.Len())
+	}
+	// All-to-all between stages: 2*4 + 4*4 + 4*1 = 28 edges.
+	if g.NumEdges() != 28 {
+		t.Fatalf("NumEdges = %d, want 28", g.NumEdges())
+	}
+	if _, err := Pipeline(nil); err == nil {
+		t.Fatal("empty pipeline accepted")
+	}
+	if _, err := Pipeline([]int{2, 0}); err == nil {
+		t.Fatal("zero-width stage accepted")
+	}
+}
+
+func TestMontage(t *testing.T) {
+	g, err := Montage(6)
+	if err != nil {
+		t.Fatalf("Montage: %v", err)
+	}
+	if len(g.Exits()) != 1 {
+		t.Fatal("montage must end in one publish task")
+	}
+	if g.Len() < 20 {
+		t.Fatalf("Len = %d, suspiciously small", g.Len())
+	}
+	if _, err := Montage(1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	g, err := Cholesky(4)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	// POTRF: t, TRSM: t(t-1)/2, SYRK: t(t-1)/2, GEMM: t(t-1)(t-2)/6.
+	want := 4 + 6 + 6 + 4
+	if g.Len() != want {
+		t.Fatalf("Len = %d, want %d", g.Len(), want)
+	}
+	if len(g.Exits()) != 1 {
+		t.Fatalf("Exits = %v, want just the last POTRF", g.Exits())
+	}
+	if _, err := Cholesky(0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+}
+
+func TestLU(t *testing.T) {
+	g, err := LU(3)
+	if err != nil {
+		t.Fatalf("LU: %v", err)
+	}
+	// GETRF: t, TRSM: t(t-1), GEMM: sum (t-k-1)^2 = 4+1 = 5 for t=3.
+	want := 3 + 6 + 5
+	if g.Len() != want {
+		t.Fatalf("Len = %d, want %d", g.Len(), want)
+	}
+	if _, err := LU(0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+}
+
+func TestWithCCR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, _ := Random(RandomConfig{N: 60}, rng)
+	sys := platform.Homogeneous(4, 0, 1)
+	for _, ccr := range []float64{0.1, 0.5, 1, 5, 10} {
+		scaled, err := WithCCR(g, sys, ccr)
+		if err != nil {
+			t.Fatalf("WithCCR(%g): %v", ccr, err)
+		}
+		meanW := scaled.TotalWeight() / float64(scaled.Len())
+		// Realized CCR: mean over edges of mean comm cost / mean comp.
+		var sum float64
+		for _, e := range scaled.Edges() {
+			sum += sys.MeanCommCost(e.Data)
+		}
+		got := sum / float64(scaled.NumEdges()) / meanW
+		if math.Abs(got-ccr) > 1e-9 {
+			t.Fatalf("realized CCR %g, want %g", got, ccr)
+		}
+	}
+	if _, err := WithCCR(g, sys, -1); err == nil {
+		t.Fatal("negative CCR accepted")
+	}
+}
+
+func TestWithCCRLatencyClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, _ := Random(RandomConfig{N: 30}, rng)
+	// Latency 1000 exceeds any reasonable target: data clamps to zero.
+	sys := platform.Homogeneous(2, 1000, 1)
+	scaled, err := WithCCR(g, sys, 0.1)
+	if err != nil {
+		t.Fatalf("WithCCR: %v", err)
+	}
+	if d := scaled.TotalData(); d != 0 {
+		t.Fatalf("TotalData = %g, want 0 (latency-dominated)", d)
+	}
+}
+
+func TestMakeInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, _ := Random(RandomConfig{N: 40}, rng)
+	in, err := MakeInstance(g, HetConfig{Procs: 4, CCR: 2, Beta: 0.5}, rng)
+	if err != nil {
+		t.Fatalf("MakeInstance: %v", err)
+	}
+	if in.P() != 4 || in.N() != 40 {
+		t.Fatalf("P,N = %d,%d", in.P(), in.N())
+	}
+	if math.Abs(in.CCR()-2) > 0.5 {
+		// CCR is computed against the *drawn* cost matrix, so it only
+		// approximates the target under β > 0; it must still be close.
+		t.Fatalf("CCR = %g, want ≈ 2", in.CCR())
+	}
+	if _, err := MakeInstance(g, HetConfig{Procs: 0}, rng); err == nil {
+		t.Fatal("0 procs accepted")
+	}
+}
+
+func TestMakeInstanceHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, _ := Random(RandomConfig{N: 30}, rng)
+	in, err := MakeInstance(g, HetConfig{Procs: 3, CCR: 1, Beta: 0}, rng)
+	if err != nil {
+		t.Fatalf("MakeInstance: %v", err)
+	}
+	for i := 0; i < in.N(); i++ {
+		if in.SigmaCost(dag.TaskID(i)) > 1e-9 {
+			t.Fatalf("β=0 instance has cost variance at task %d", i)
+		}
+	}
+}
