@@ -1,0 +1,39 @@
+# Development and CI entry points. `make ci` is the tier run before
+# merging: static checks, the full test suite under the race detector,
+# and a one-iteration benchmark smoke proving the perf-path still builds
+# and schedules at every size.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke fuzz-smoke scale ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of the scheduler-throughput benchmark at every size —
+# a smoke test of the hot path, not a measurement.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkAlgorithms -benchtime 1x .
+
+# A few seconds of coverage-guided fuzzing per parser entry point.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 5s ./internal/dag
+	$(GO) test -run '^$$' -fuzz FuzzReadDAX -fuzztime 5s ./internal/workload
+	$(GO) test -run '^$$' -fuzz FuzzReadGraphJSON -fuzztime 5s .
+
+# Regenerate BENCH_sched.json (real measurement; takes a minute).
+scale:
+	$(GO) run ./cmd/schedbench -scale -out BENCH_sched.json
+
+ci: vet race bench-smoke

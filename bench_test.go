@@ -58,6 +58,58 @@ func BenchmarkE16Contention(b *testing.B)     { runExperiment(b, "E16") }
 func BenchmarkE17DupBudget(b *testing.B)      { runExperiment(b, "E17") }
 func BenchmarkE18LinkSpread(b *testing.B)     { runExperiment(b, "E18") }
 
+// benchSizeCap bounds the DAG size each algorithm is benchmarked at in
+// BenchmarkAlgorithms. The insertion-based list schedulers scale to
+// 10k-task DAGs; the pair-scanning (ETF, DLS) and clone-heavy
+// (ILS/duplication/clustering/contention) algorithms are inherently
+// super-quadratic and are benchmarked up to the largest size they finish
+// in reasonable time. Algorithms not listed default to 10000.
+var benchSizeCap = map[string]int{
+	"ETF":    1000,
+	"DLS":    1000,
+	"ILS":    400,
+	"ILS-L":  400,
+	"ILS-D":  400,
+	"ILS-R":  1000,
+	"DSH":    400,
+	"BTDH":   400,
+	"DSC":    1000,
+	"C-HEFT": 1000,
+}
+
+// BenchmarkAlgorithms times every registry algorithm on layered random
+// DAGs at n ∈ {100, 1000, 10000} tasks over 8 processors. This is the
+// perf-trajectory benchmark: cmd/schedbench -scale emits the same
+// measurements as BENCH_sched.json.
+func BenchmarkAlgorithms(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g, err := dagsched.RandomDAG(dagsched.RandomDAGConfig{N: n}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: 8, CCR: 1, Beta: 1}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range dagsched.Algorithms() {
+			cap, ok := benchSizeCap[a.Name()]
+			if ok && n > cap {
+				continue
+			}
+			a := a
+			b.Run(fmt.Sprintf("%s/n%d", a.Name(), n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := a.Schedule(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // Micro-benchmarks of the schedulers themselves: time to schedule one
 // random 100-task DAG on 8 processors, per algorithm.
 func BenchmarkSchedulers(b *testing.B) {

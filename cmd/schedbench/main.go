@@ -6,6 +6,8 @@
 //	schedbench -exp E2,E9       # selected experiments
 //	schedbench -quick           # reduced sweeps (seconds instead of minutes)
 //	schedbench -reps 50 -seed 7 # more repetitions, different seed
+//	schedbench -scale           # scheduler-throughput sweep -> BENCH_sched.json
+//	schedbench -scale -out -    # same, JSON on stdout
 package main
 
 import (
@@ -25,8 +27,17 @@ func main() {
 		seed    = flag.Int64("seed", 0, "base random seed")
 		quick   = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		workers = flag.Int("workers", 0, "repetition worker pool size (0 = GOMAXPROCS); never affects results")
+		scale   = flag.Bool("scale", false, "run the scheduler-throughput sweep instead of the experiment suite")
+		out     = flag.String("out", "BENCH_sched.json", "output path for -scale ('-' = stdout)")
 	)
 	flag.Parse()
+
+	if *scale {
+		if err := runScale(*out, *reps, *seed, *quick); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var selected []dagsched.Experiment
 	if *exps == "all" {

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"dagsched"
+)
+
+// scaleSizeCap bounds the DAG size each algorithm is timed at, mirroring
+// benchSizeCap in the repository's bench_test.go: the insertion-based
+// list schedulers scale to 10k tasks, the pair-scanning (ETF, DLS) and
+// clone-heavy (ILS/duplication/clustering/contention) algorithms are
+// inherently super-quadratic and stop at the largest size they finish in
+// reasonable time. Unlisted algorithms run at every size.
+var scaleSizeCap = map[string]int{
+	"ETF":    1000,
+	"DLS":    1000,
+	"ILS":    400,
+	"ILS-L":  400,
+	"ILS-D":  400,
+	"ILS-R":  1000,
+	"DSH":    400,
+	"BTDH":   400,
+	"DSC":    1000,
+	"C-HEFT": 1000,
+}
+
+// scaleReport is the machine-readable output of the -scale mode.
+type scaleReport struct {
+	Suite     string        `json:"suite"`
+	GoVersion string        `json:"go_version"`
+	GoOSArch  string        `json:"goos_goarch"`
+	Config    scaleConfig   `json:"config"`
+	Results   []scaleResult `json:"results"`
+}
+
+type scaleConfig struct {
+	Sizes []int   `json:"sizes"`
+	Procs int     `json:"procs"`
+	CCR   float64 `json:"ccr"`
+	Beta  float64 `json:"beta"`
+	Reps  int     `json:"reps"`
+	Seed  int64   `json:"seed"`
+}
+
+type scaleResult struct {
+	Algorithm string  `json:"algorithm"`
+	N         int     `json:"n"`
+	Edges     int     `json:"edges"`
+	Reps      int     `json:"reps"`
+	BestNs    int64   `json:"best_ns"`
+	MeanNs    int64   `json:"mean_ns"`
+	NsPerTask float64 `json:"ns_per_task"`
+	Makespan  float64 `json:"makespan"`
+}
+
+// runScale times every registry algorithm on layered random DAGs at the
+// given sizes over 8 processors (CCR 1, heterogeneity 1 — the same design
+// point BenchmarkAlgorithms uses) and writes the measurements as JSON.
+// Best-of-reps is the headline number: wall-clock minima are the standard
+// low-noise point estimate for CPU-bound work.
+func runScale(outPath string, reps int, seed int64, quick bool) error {
+	sizes := []int{100, 1000, 10000}
+	if quick {
+		sizes = []int{100, 1000}
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	rep := scaleReport{
+		Suite:     "dagsched-scale",
+		GoVersion: runtime.Version(),
+		GoOSArch:  runtime.GOOS + "/" + runtime.GOARCH,
+		Config:    scaleConfig{Sizes: sizes, Procs: 8, CCR: 1, Beta: 1, Reps: reps, Seed: seed},
+	}
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		g, err := dagsched.RandomDAG(dagsched.RandomDAGConfig{N: n}, rng)
+		if err != nil {
+			return err
+		}
+		in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: 8, CCR: 1, Beta: 1}, rng)
+		if err != nil {
+			return err
+		}
+		for _, a := range dagsched.Algorithms() {
+			if cap, ok := scaleSizeCap[a.Name()]; ok && n > cap {
+				continue
+			}
+			res := scaleResult{Algorithm: a.Name(), N: n, Edges: g.NumEdges(), Reps: reps}
+			var total time.Duration
+			for r := 0; r < reps; r++ {
+				start := time.Now()
+				s, err := a.Schedule(in)
+				elapsed := time.Since(start)
+				if err != nil {
+					return fmt.Errorf("%s at n=%d: %w", a.Name(), n, err)
+				}
+				if r == 0 {
+					res.Makespan = s.Makespan()
+				}
+				total += elapsed
+				if res.BestNs == 0 || elapsed.Nanoseconds() < res.BestNs {
+					res.BestNs = elapsed.Nanoseconds()
+				}
+			}
+			res.MeanNs = total.Nanoseconds() / int64(reps)
+			res.NsPerTask = float64(res.BestNs) / float64(n)
+			rep.Results = append(rep.Results, res)
+			fmt.Fprintf(os.Stderr, "scale: %-8s n=%-6d best=%-12s ns/task=%.0f\n",
+				res.Algorithm, n, time.Duration(res.BestNs).Round(time.Microsecond), res.NsPerTask)
+		}
+	}
+	sort.SliceStable(rep.Results, func(i, j int) bool {
+		if rep.Results[i].N != rep.Results[j].N {
+			return rep.Results[i].N < rep.Results[j].N
+		}
+		return rep.Results[i].Algorithm < rep.Results[j].Algorithm
+	})
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(outPath, buf, 0o644)
+}

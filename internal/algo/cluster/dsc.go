@@ -51,8 +51,8 @@ func Clusters(in *sched.Instance) []int {
 		freshStart := 0.0
 		critParent := dag.TaskID(-1)
 		critArrival := -1.0
-		for _, pe := range in.G.Pred(v) {
-			arr := finish[pe.To] + in.MeanCommData(pe.Data)
+		for j, pe := range in.G.Pred(v) {
+			arr := finish[pe.To] + in.MeanCommPred(v, j)
 			if arr > freshStart {
 				freshStart = arr
 			}
@@ -67,10 +67,10 @@ func Clusters(in *sched.Instance) []int {
 			// edges are zeroed but v queues behind the cluster's last task.
 			c := cluster[critParent]
 			mergedStart := clusterReady[c]
-			for _, pe := range in.G.Pred(v) {
+			for j, pe := range in.G.Pred(v) {
 				arr := finish[pe.To]
 				if cluster[pe.To] != c {
-					arr += in.MeanCommData(pe.Data)
+					arr += in.MeanCommPred(v, j)
 				}
 				if arr > mergedStart {
 					mergedStart = arr

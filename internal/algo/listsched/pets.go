@@ -35,8 +35,8 @@ func (PETS) Schedule(in *sched.Instance) (*sched.Schedule, error) {
 	for _, v := range in.G.TopoOrder() {
 		acc := in.MeanCost(v)
 		dtc := 0.0
-		for _, a := range in.G.Succ(v) {
-			dtc += in.MeanCommData(a.Data)
+		for j := range in.G.Succ(v) {
+			dtc += in.MeanCommSucc(v, j)
 		}
 		rpt := 0.0
 		for _, p := range in.G.Pred(v) {

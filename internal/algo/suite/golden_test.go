@@ -1,0 +1,83 @@
+package suite_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dagsched/internal/algo/suite"
+	"dagsched/internal/testfix"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite internal/testfix/golden_sched.json from the current scheduling path")
+
+// TestGoldenEquivalence schedules the fixed testfix battery with every
+// registry algorithm and asserts the makespan and the exact placement
+// digest match the committed goldens. The goldens were captured from the
+// pre-timeline linear slot-scan implementation, so this test proves the
+// fast scheduling kernel is a pure-performance change: same schedules,
+// bit for bit.
+func TestGoldenEquivalence(t *testing.T) {
+	instances := testfix.GoldenInstances()
+
+	if *updateGolden {
+		gf := testfix.GoldenFile{}
+		for _, ni := range instances {
+			gf[ni.Name] = map[string]testfix.GoldenRecord{}
+			for _, a := range suite.All() {
+				s, err := a.Schedule(ni.In)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", a.Name(), ni.Name, err)
+				}
+				gf[ni.Name][a.Name()] = testfix.GoldenRecord{
+					Makespan: s.Makespan(),
+					Digest:   testfix.ScheduleDigest(s),
+				}
+			}
+		}
+		out, err := json.MarshalIndent(gf, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("..", "..", "testfix", "golden_sched.json")
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d instances × %d algorithms)", path, len(instances), len(suite.All()))
+		return
+	}
+
+	golden, err := testfix.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ni := range instances {
+		want, ok := golden[ni.Name]
+		if !ok {
+			t.Errorf("instance %s missing from goldens (run with -update)", ni.Name)
+			continue
+		}
+		for _, a := range suite.All() {
+			rec, ok := want[a.Name()]
+			if !ok {
+				t.Errorf("%s: algorithm %s missing from goldens (run with -update)", ni.Name, a.Name())
+				continue
+			}
+			s, err := a.Schedule(ni.In)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name(), ni.Name, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("%s on %s: invalid schedule: %v", a.Name(), ni.Name, err)
+			}
+			if got := s.Makespan(); got != rec.Makespan {
+				t.Errorf("%s on %s: makespan %v, golden %v", a.Name(), ni.Name, got, rec.Makespan)
+			}
+			if got := testfix.ScheduleDigest(s); got != rec.Digest {
+				t.Errorf("%s on %s: placement digest drifted from golden schedule", a.Name(), ni.Name)
+			}
+		}
+	}
+}

@@ -158,7 +158,7 @@ func estimateChildEFT(pl *sched.Plan, c dag.TaskID, estFinish []float64) float64
 	best := math.Inf(1)
 	for q := 0; q < in.P(); q++ {
 		ready := 0.0
-		for _, pe := range in.G.Pred(c) {
+		for j, pe := range in.G.Pred(c) {
 			var arrival float64
 			if pl.Scheduled(pe.To) {
 				arrival = math.Inf(1)
@@ -168,7 +168,7 @@ func estimateChildEFT(pl *sched.Plan, c dag.TaskID, estFinish []float64) float64
 					}
 				}
 			} else {
-				arrival = estFinish[pe.To] + in.MeanCommData(pe.Data)
+				arrival = estFinish[pe.To] + in.MeanCommPred(c, j)
 			}
 			if arrival > ready {
 				ready = arrival

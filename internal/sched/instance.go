@@ -22,6 +22,12 @@ type Instance struct {
 
 	meanW  []float64
 	sigmaW []float64
+	// Per-edge mean communication costs, memoized per adjacency entry
+	// (parallel to G.Succ(i) / G.Pred(i)). System.MeanCommCost is O(p²)
+	// per call; the rank computations and lookahead estimators consult
+	// these tables instead, with bit-identical values.
+	meanCommSucc [][]float64
+	meanCommPred [][]float64
 }
 
 // NewInstance validates the cost matrix and builds an Instance. W must
@@ -66,6 +72,26 @@ func (in *Instance) cacheStats() {
 		}
 		in.meanW[i] = mean
 		in.sigmaW[i] = math.Sqrt(varSum / float64(p))
+	}
+	in.meanCommSucc = make([][]float64, n)
+	in.meanCommPred = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		succ := in.G.Succ(dag.TaskID(i))
+		if len(succ) > 0 {
+			row := make([]float64, len(succ))
+			for j, a := range succ {
+				row[j] = in.Sys.MeanCommCost(a.Data)
+			}
+			in.meanCommSucc[i] = row
+		}
+		pred := in.G.Pred(dag.TaskID(i))
+		if len(pred) > 0 {
+			row := make([]float64, len(pred))
+			for j, a := range pred {
+				row[j] = in.Sys.MeanCommCost(a.Data)
+			}
+			in.meanCommPred[i] = row
+		}
 	}
 }
 
@@ -163,6 +189,20 @@ func (in *Instance) MeanComm(from, to dag.TaskID) float64 {
 // between two distinct processors.
 func (in *Instance) MeanCommData(data float64) float64 {
 	return in.Sys.MeanCommCost(data)
+}
+
+// MeanCommSucc returns the mean communication cost of the j-th outgoing
+// edge of task i (parallel to G.Succ(i)), from the precomputed per-edge
+// table — identical to MeanCommData(G.Succ(i)[j].Data) without the O(p²)
+// pair scan.
+func (in *Instance) MeanCommSucc(i dag.TaskID, j int) float64 {
+	return in.meanCommSucc[i][j]
+}
+
+// MeanCommPred is MeanCommSucc for the j-th incoming edge of task i
+// (parallel to G.Pred(i)).
+func (in *Instance) MeanCommPred(i dag.TaskID, j int) float64 {
+	return in.meanCommPred[i][j]
 }
 
 // CCR returns the realized communication-to-computation ratio: the mean

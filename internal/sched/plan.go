@@ -3,8 +3,10 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dagsched/internal/dag"
+	"dagsched/internal/sched/timeline"
 )
 
 // Plan is the mutable working state of a scheduling algorithm: a partial
@@ -24,6 +26,11 @@ type Plan struct {
 	// blockedFrom[p] < +Inf marks processor p unavailable from that time
 	// on (fail-stop support); FindSlot never places work beyond it.
 	blockedFrom []float64
+	// gaps[p] indexes the idle gaps of processor p for O(log k)
+	// earliest-fit queries. An index degrades (and FindSlot falls back to
+	// the linear reference scan) if a placement ever straddles occupied
+	// intervals; correctness never depends on it.
+	gaps []*timeline.GapIndex
 }
 
 // NewPlan returns an empty plan for the instance.
@@ -33,9 +40,11 @@ func NewPlan(in *Instance) *Plan {
 		procs:       make([][]Assignment, in.P()),
 		byTask:      make([][]Assignment, in.N()),
 		blockedFrom: make([]float64, in.P()),
+		gaps:        make([]*timeline.GapIndex, in.P()),
 	}
 	for p := range pl.blockedFrom {
 		pl.blockedFrom[p] = math.Inf(1)
+		pl.gaps[p] = timeline.New(slotEps)
 	}
 	return pl
 }
@@ -128,12 +137,16 @@ func (pl *Plan) FindSlot(p int, ready, dur float64, insertion bool) float64 {
 }
 
 func (pl *Plan) findSlotUnbounded(p int, ready, dur float64, insertion bool) float64 {
-	timeline := pl.procs[p]
 	if !insertion {
 		return math.Max(ready, pl.ProcReady(p))
 	}
+	if start, ok := pl.gaps[p].EarliestFit(ready, dur); ok {
+		return start
+	}
+	// Degraded gap index (a placement straddled occupied intervals):
+	// answer with the linear reference scan.
 	prevFinish := 0.0
-	for _, a := range timeline {
+	for _, a := range pl.procs[p] {
 		start := math.Max(ready, prevFinish)
 		if start+dur <= a.Start+slotEps {
 			return start
@@ -198,14 +211,12 @@ func (pl *Plan) PlaceDup(i dag.TaskID, p int, start float64) Assignment {
 
 func (pl *Plan) insert(a Assignment) {
 	t := pl.procs[a.Proc]
-	k := len(t)
-	for k > 0 && t[k-1].Start > a.Start {
-		k--
-	}
+	k := sort.Search(len(t), func(i int) bool { return t[i].Start > a.Start })
 	t = append(t, Assignment{})
 	copy(t[k+1:], t[k:])
 	t[k] = a
 	pl.procs[a.Proc] = t
+	pl.gaps[a.Proc].Occupy(a.Start, a.Finish)
 	if a.Dup {
 		pl.byTask[a.Task] = append(pl.byTask[a.Task], a)
 	} else {
@@ -234,9 +245,11 @@ func (pl *Plan) Clone() *Plan {
 		byTask:      make([][]Assignment, len(pl.byTask)),
 		placed:      pl.placed,
 		blockedFrom: append([]float64(nil), pl.blockedFrom...),
+		gaps:        make([]*timeline.GapIndex, len(pl.gaps)),
 	}
 	for p := range pl.procs {
 		cp.procs[p] = append([]Assignment(nil), pl.procs[p]...)
+		cp.gaps[p] = pl.gaps[p].Clone()
 	}
 	for i := range pl.byTask {
 		cp.byTask[i] = append([]Assignment(nil), pl.byTask[i]...)

@@ -1,6 +1,10 @@
 package sched
 
-import "dagsched/internal/dag"
+import (
+	"sort"
+
+	"dagsched/internal/dag"
+)
 
 // Rank and priority computations shared by the list-scheduling heuristics.
 // All ranks use platform-mean execution costs and platform-mean
@@ -28,8 +32,8 @@ func rankUpwardWith(in *Instance, comp []float64) []float64 {
 	ranks := make([]float64, in.N())
 	for _, v := range in.G.ReverseTopoOrder() {
 		best := 0.0
-		for _, a := range in.G.Succ(v) {
-			if cand := in.MeanCommData(a.Data) + ranks[a.To]; cand > best {
+		for j, a := range in.G.Succ(v) {
+			if cand := in.meanCommSucc[v][j] + ranks[a.To]; cand > best {
 				best = cand
 			}
 		}
@@ -45,8 +49,8 @@ func RankDownward(in *Instance) []float64 {
 	ranks := make([]float64, in.N())
 	for _, v := range in.G.TopoOrder() {
 		best := 0.0
-		for _, p := range in.G.Pred(v) {
-			if cand := ranks[p.To] + in.meanW[p.To] + in.MeanCommData(p.Data); cand > best {
+		for j, p := range in.G.Pred(v) {
+			if cand := ranks[p.To] + in.meanW[p.To] + in.meanCommPred[v][j]; cand > best {
 				best = cand
 			}
 		}
@@ -167,25 +171,11 @@ func SortByRankAsc(rank []float64) []dag.TaskID {
 	return order
 }
 
-// sortStable is a tiny insertion-free merge sort wrapper to avoid pulling
-// reflection-based sort.Slice into hot paths; n is small enough that the
-// stdlib is fine, but keeping a single entry point makes tie-breaking
-// policies auditable.
+// sortStable keeps a single entry point for the priority sorts so the
+// tie-breaking policies stay auditable. Stability plus an identical
+// comparator guarantees the same permutation as the binary-insertion sort
+// it replaces, at O(n log n) moves instead of O(n²) for the 10k-task
+// priority lists.
 func sortStable(ids []dag.TaskID, less func(a, b dag.TaskID) bool) {
-	// Simple binary-insertion sort: deterministic, stable, and fast for
-	// the few-thousand-element priority lists seen here.
-	for i := 1; i < len(ids); i++ {
-		v := ids[i]
-		lo, hi := 0, i
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if less(v, ids[mid]) {
-				hi = mid
-			} else {
-				lo = mid + 1
-			}
-		}
-		copy(ids[lo+1:i+1], ids[lo:i])
-		ids[lo] = v
-	}
+	sort.SliceStable(ids, func(i, j int) bool { return less(ids[i], ids[j]) })
 }

@@ -1,0 +1,134 @@
+package testfix
+
+import (
+	"crypto/sha256"
+	_ "embed"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+	"dagsched/internal/workload"
+)
+
+// This file carries the golden-equivalence fixtures: a deterministic
+// battery of named instances plus the recorded makespans and assignment
+// digests of every registry algorithm on them, captured from the
+// pre-timeline (linear slot-scan) scheduling path. Any refactor of the
+// scheduling kernel must reproduce these schedules bit for bit; the test
+// lives in internal/algo/suite (which can import the registry) and is
+// regenerated with `go test ./internal/algo/suite -run TestGolden -update`.
+//
+// Digests hash the exact float64 placements, so they are specific to one
+// architecture's floating-point behaviour (captured on linux/amd64, where
+// the Go compiler does not fuse multiply-adds).
+
+//go:embed golden_sched.json
+var goldenJSON []byte
+
+// GoldenRecord is one algorithm's recorded result on one instance.
+type GoldenRecord struct {
+	Makespan float64 `json:"makespan"`
+	Digest   string  `json:"digest"`
+}
+
+// GoldenFile maps instance name → algorithm name → recorded result.
+type GoldenFile map[string]map[string]GoldenRecord
+
+// Golden parses the embedded golden records.
+func Golden() (GoldenFile, error) {
+	var gf GoldenFile
+	if err := json.Unmarshal(goldenJSON, &gf); err != nil {
+		return nil, fmt.Errorf("testfix: bad golden_sched.json: %w", err)
+	}
+	return gf, nil
+}
+
+// NamedInstance is one member of the golden battery.
+type NamedInstance struct {
+	Name string
+	In   *sched.Instance
+}
+
+// GoldenInstances returns the deterministic instance battery backing the
+// golden-equivalence test: the Topcuoglu fixture, seeded layered random
+// DAGs across processor counts / CCRs / heterogeneity (including a
+// homogeneous matrix), and structured application graphs.
+func GoldenInstances() []NamedInstance {
+	out := []NamedInstance{{Name: "topcuoglu-fig1", In: Topcuoglu()}}
+
+	randomCases := []struct {
+		name      string
+		n, procs  int
+		ccr, beta float64
+		seed      int64
+	}{
+		{"random-n25-p3-ccr0.5", 25, 3, 0.5, 1.0, 11},
+		{"random-n60-p4-ccr1", 60, 4, 1, 0.75, 12},
+		{"random-n60-p8-ccr5", 60, 8, 5, 1.5, 13},
+		{"random-n120-p6-ccr1", 120, 6, 1, 1.0, 14},
+		{"random-n120-p4-ccr10", 120, 4, 10, 0.5, 15},
+		{"random-n60-p4-homog", 60, 4, 1, 0, 16},
+	}
+	for _, c := range randomCases {
+		rng := rand.New(rand.NewSource(c.seed))
+		g, err := workload.Random(workload.RandomConfig{N: c.n}, rng)
+		if err != nil {
+			panic(err)
+		}
+		in, err := workload.MakeInstance(g, workload.HetConfig{Procs: c.procs, CCR: c.ccr, Beta: c.beta}, rng)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, NamedInstance{Name: c.name, In: in})
+	}
+
+	structured := []struct {
+		name string
+		g    func() (*dag.Graph, error)
+	}{
+		{"gauss-m6", func() (*dag.Graph, error) { return workload.GaussianElimination(6) }},
+		{"fft-n8", func() (*dag.Graph, error) { return workload.FFT(8) }},
+		{"forkjoin-4x3", func() (*dag.Graph, error) { return workload.ForkJoin(4, 3) }},
+		{"cholesky-t4", func() (*dag.Graph, error) { return workload.Cholesky(4) }},
+		{"pipeline-2-4-4-2", func() (*dag.Graph, error) { return workload.Pipeline([]int{2, 4, 4, 2}) }},
+		{"montage-5", func() (*dag.Graph, error) { return workload.Montage(5) }},
+	}
+	for i, c := range structured {
+		g, err := c.g()
+		if err != nil {
+			panic(err)
+		}
+		rng := rand.New(rand.NewSource(100 + int64(i)))
+		in, err := workload.MakeInstance(g, workload.HetConfig{Procs: 4, CCR: 1, Beta: 0.75}, rng)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, NamedInstance{Name: c.name, In: in})
+	}
+	return out
+}
+
+// ScheduleDigest returns a stable hex digest of every placement in the
+// schedule: per processor in start order, each copy's task, exact start
+// and finish bits, and duplicate flag. Two schedules share a digest iff
+// they place the same copies at the same float64 times.
+func ScheduleDigest(s *sched.Schedule) string {
+	var b strings.Builder
+	for p := 0; p < s.Instance().P(); p++ {
+		fmt.Fprintf(&b, "P%d:", p)
+		for _, a := range s.OnProc(p) {
+			fmt.Fprintf(&b, "%d@%x..%x", a.Task, a.Start, a.Finish)
+			if a.Dup {
+				b.WriteString("d")
+			}
+			b.WriteString(";")
+		}
+		b.WriteString("|")
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

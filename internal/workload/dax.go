@@ -4,6 +4,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"math"
 
 	"dagsched/internal/dag"
 )
@@ -84,6 +85,9 @@ func ReadDAX(r io.Reader, opts DAXOptions) (*dag.Graph, error) {
 		if _, dup := ids[j.ID]; dup {
 			return nil, fmt.Errorf("workload: duplicate DAX job id %q", j.ID)
 		}
+		if math.IsNaN(j.Runtime) || math.IsInf(j.Runtime, 0) {
+			return nil, fmt.Errorf("workload: DAX job %q has non-finite runtime", j.ID)
+		}
 		w := j.Runtime
 		if w <= 0 {
 			w = opts.DefaultRuntime
@@ -96,6 +100,9 @@ func ReadDAX(r io.Reader, opts DAXOptions) (*dag.Graph, error) {
 		outputs[j.ID] = map[string]float64{}
 		inputs[j.ID] = map[string]float64{}
 		for _, u := range j.Uses {
+			if math.IsNaN(u.Size) || math.IsInf(u.Size, 0) {
+				return nil, fmt.Errorf("workload: DAX job %q uses file %q with non-finite size", j.ID, u.File)
+			}
 			switch u.Link {
 			case "output":
 				outputs[j.ID][u.File] = u.Size

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDAX asserts the Pegasus DAX importer never panics on malformed
+// input and that every accepted workflow is a coherent, schedulable DAG:
+// positive task weights, non-negative edge data, complete topological
+// order (acyclicity).
+func FuzzReadDAX(f *testing.F) {
+	// Seed corpus: the valid mini workflow plus structured near-misses
+	// (cycle, unknown ref, duplicate id, empty adag, truncated XML,
+	// non-XML garbage). More seeds live in testdata/fuzz/FuzzReadDAX.
+	f.Add(sampleDAX)
+	f.Add(`<adag name="empty"></adag>`)
+	f.Add(`<adag><job id="a" runtime="1"/><job id="a" runtime="2"/></adag>`)
+	f.Add(`<adag><job id="a" runtime="1"/><child ref="missing"><parent ref="a"/></child></adag>`)
+	f.Add(`<adag><job id="a" runtime="1"/><job id="b" runtime="1"/>` +
+		`<child ref="a"><parent ref="b"/></child><child ref="b"><parent ref="a"/></child></adag>`)
+	f.Add(`<adag><job id="a" runtime="-5"/></adag>`)
+	f.Add(`<adag><job id="a" runtime="1"><uses file="f" link="output" size="-3"/></job></adag>`)
+	f.Add(`<adag><job id="a"`)
+	f.Add(`not xml at all`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadDAX(strings.NewReader(data), DAXOptions{})
+		if err != nil {
+			return // rejecting malformed input is fine; panicking is not
+		}
+		if g.Len() == 0 {
+			t.Fatal("accepted a DAX with no tasks")
+		}
+		if got := len(g.TopoOrder()); got != g.Len() {
+			t.Fatalf("topological order covers %d of %d tasks (cycle slipped through)", got, g.Len())
+		}
+		for _, task := range g.Tasks() {
+			if !(task.Weight > 0) {
+				t.Fatalf("accepted non-positive task weight %v", task.Weight)
+			}
+		}
+		for _, e := range g.Edges() {
+			if e.Data < 0 {
+				t.Fatalf("accepted negative edge data %v", e.Data)
+			}
+			if e.From == e.To {
+				t.Fatalf("accepted self-loop on task %d", e.From)
+			}
+		}
+	})
+}
