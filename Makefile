@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke fuzz-smoke scale ci
+.PHONY: all build vet test race race-concurrent bench-smoke fuzz-smoke scale ci
 
 all: build
 
@@ -20,6 +20,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the concurrency-heavy subsystems: the
+# experiment repetition worker pool and the schedd service (worker pool,
+# cache, graceful shutdown). `race` already covers them once; this tier
+# re-runs them with fresh state so interleavings differ between passes.
+race-concurrent:
+	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/...
 
 # One iteration of the scheduler-throughput benchmark at every size —
 # a smoke test of the hot path, not a measurement.
@@ -36,4 +43,4 @@ fuzz-smoke:
 scale:
 	$(GO) run ./cmd/schedbench -scale -out BENCH_sched.json
 
-ci: vet race bench-smoke
+ci: vet race race-concurrent bench-smoke

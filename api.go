@@ -1,8 +1,10 @@
 package dagsched
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"time"
 
 	"dagsched/internal/algo"
 	"dagsched/internal/algo/exact"
@@ -15,6 +17,7 @@ import (
 	"dagsched/internal/metrics"
 	"dagsched/internal/platform"
 	"dagsched/internal/sched"
+	"dagsched/internal/service"
 	"dagsched/internal/sim"
 	"dagsched/internal/workload"
 )
@@ -93,9 +96,21 @@ func ReadInstanceJSON(r io.Reader) (*Instance, error) { return sched.ReadInstanc
 type (
 	// Algorithm maps an instance to a schedule.
 	Algorithm = algo.Algorithm
+	// CtxScheduler is implemented by algorithms whose hot loop carries
+	// cancellation checkpoints (ILS, HEFT and the search schedulers).
+	CtxScheduler = algo.CtxScheduler
 	// ILSOptions selects the mechanisms of the ILS scheduler.
 	ILSOptions = core.Options
 )
+
+// ScheduleContext runs the algorithm under ctx. Algorithms implementing
+// CtxScheduler abort mid-schedule once the context is canceled or its
+// deadline passes; for the rest the context is checked before and after
+// the run. Use this instead of Algorithm.Schedule whenever scheduling
+// time must be bounded.
+func ScheduleContext(ctx context.Context, a Algorithm, in *Instance) (*Schedule, error) {
+	return algo.ScheduleContext(ctx, a, in)
+}
 
 // ILS returns the full improved list scheduler (σ-rank + lookahead +
 // duplication), the paper's contribution.
@@ -286,6 +301,33 @@ func WriteChromeTrace(w io.Writer, s *Schedule) error { return export.WriteChrom
 // pixel width.
 func WriteGanttPNG(w io.Writer, s *Schedule, width int) error {
 	return export.WriteGanttPNG(w, s, width)
+}
+
+// Serving.
+type (
+	// ServiceOptions configures the schedd HTTP service.
+	ServiceOptions = service.Options
+	// ServiceClient is a client for a running schedd.
+	ServiceClient = service.Client
+	// ScheduleRequest is the wire form of one scheduling query.
+	ScheduleRequest = service.ScheduleRequest
+	// ScheduleResponse is the wire form of one scheduling result.
+	ScheduleResponse = service.ScheduleResponse
+	// ServiceMetrics is the body of schedd's GET /metrics.
+	ServiceMetrics = service.MetricsSnapshot
+)
+
+// Serve runs the schedd scheduling service until ctx is canceled, then
+// shuts down gracefully, draining in-flight requests for at most drain
+// (10s if nonpositive). See docs/SERVICE.md for the HTTP API.
+func Serve(ctx context.Context, opts ServiceOptions, drain time.Duration) error {
+	return service.Serve(ctx, opts, drain)
+}
+
+// NewServiceClient returns a client for the schedd at baseURL, e.g.
+// "http://127.0.0.1:8080".
+func NewServiceClient(baseURL string) *ServiceClient {
+	return &ServiceClient{BaseURL: baseURL}
 }
 
 // Experiments.

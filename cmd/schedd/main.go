@@ -1,0 +1,63 @@
+// Command schedd serves task-graph scheduling over HTTP: POST a problem
+// instance (or a bare graph) plus an algorithm name to /v1/schedule and
+// get the schedule, its measures and an optional analysis back. See
+// docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	schedd                                  # serve on 127.0.0.1:8080
+//	schedd -addr :9000 -workers 4           # custom bind and pool size
+//	schedd -timeout 10s -max-timeout 1m     # tighter deadlines
+//	schedd -cache 0                         # disable the result cache
+//
+// SIGINT/SIGTERM shut the server down gracefully, draining in-flight
+// requests for up to -drain before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dagsched"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent scheduling runs (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 64, "request queue depth; a full queue answers 503")
+		cache      = flag.Int("cache", 256, "LRU result-cache entries (negative disables)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request scheduling deadline")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	opts := dagsched.ServiceOptions{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = -1 // flag 0 means off; Options treats 0 as default
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "schedd: serving on %s (workers=%d queue=%d cache=%d)\n",
+		*addr, *workers, *queue, *cache)
+	if err := dagsched.Serve(ctx, opts, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "schedd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "schedd: drained, bye")
+}

@@ -1,0 +1,71 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+
+	"dagsched/internal/sched"
+)
+
+// CtxScheduler is implemented by algorithms whose hot loop carries
+// cancellation checkpoints: a canceled context makes Schedule return
+// promptly with the context's error instead of burning CPU to completion.
+type CtxScheduler interface {
+	ScheduleContext(ctx context.Context, in *sched.Instance) (*sched.Schedule, error)
+}
+
+// ScheduleContext runs the algorithm under ctx. Algorithms implementing
+// CtxScheduler abort mid-schedule on cancellation; for the rest the
+// context is checked before the (uninterruptible) run and the run's
+// result is discarded if the context expired meanwhile. Either way a
+// non-nil ctx error is reported as context.Canceled/DeadlineExceeded
+// wrapped with the algorithm name.
+func ScheduleContext(ctx context.Context, a Algorithm, in *sched.Instance) (*sched.Schedule, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name(), err)
+	}
+	if ca, ok := a.(CtxScheduler); ok {
+		return ca.ScheduleContext(ctx, in)
+	}
+	s, err := a.Schedule(in)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name(), cerr)
+	}
+	return s, nil
+}
+
+// Checkpoint polls a context cheaply from a scheduling hot loop. A nil
+// done channel (context.Background, TODO) makes every Check a single
+// comparison; otherwise the context error is loaded once per stride
+// iterations. The zero stride defaults to 64.
+type Checkpoint struct {
+	ctx    context.Context
+	done   <-chan struct{}
+	stride int
+	count  int
+}
+
+// NewCheckpoint returns a checkpoint polling ctx every stride Checks.
+func NewCheckpoint(ctx context.Context, stride int) *Checkpoint {
+	if stride <= 0 {
+		stride = 64
+	}
+	return &Checkpoint{ctx: ctx, done: ctx.Done(), stride: stride}
+}
+
+// Check returns the context's error once it is canceled, polling at the
+// checkpoint's stride; it returns nil while the context is live.
+func (c *Checkpoint) Check() error {
+	if c.done == nil {
+		return nil
+	}
+	c.count++
+	if c.count < c.stride {
+		return nil
+	}
+	c.count = 0
+	return c.ctx.Err()
+}

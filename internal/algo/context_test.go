@@ -1,0 +1,96 @@
+package algo_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/algo/listsched"
+	"dagsched/internal/algo/search"
+	"dagsched/internal/core"
+	"dagsched/internal/sched"
+	"dagsched/internal/testfix"
+)
+
+func TestScheduleContextLiveContext(t *testing.T) {
+	in := testfix.Topcuoglu()
+	for _, a := range []algo.Algorithm{listsched.HEFT{}, core.New(), listsched.CPOP{}} {
+		s, err := algo.ScheduleContext(context.Background(), a, in)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+func TestScheduleContextPreCanceled(t *testing.T) {
+	in := testfix.Topcuoglu()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Both a CtxScheduler and a plain Algorithm refuse a dead context.
+	for _, a := range []algo.Algorithm{
+		listsched.HEFT{},
+		listsched.CPOP{}, // no ScheduleContext: checked by the dispatcher
+	} {
+		if _, err := algo.ScheduleContext(ctx, a, in); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", a.Name(), err)
+		}
+	}
+}
+
+func TestScheduleContextAbortsMidRun(t *testing.T) {
+	in := testfix.Topcuoglu()
+	for _, a := range []algo.Algorithm{
+		core.New(),
+		listsched.HEFT{},
+		search.HillClimb{Iters: 1 << 30},
+		search.Anneal{Iters: 1 << 30},
+		search.Genetic{Pop: 16, Gens: 1 << 20},
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := algo.ScheduleContext(ctx, a, in)
+			done <- err
+		}()
+		// Give the run a head start, then cancel; an unbounded search
+		// without checkpoints would never return.
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			// ILS/HEFT may legitimately finish the tiny instance before
+			// the cancel lands; the unbounded searches cannot.
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: err = %v", a.Name(), err)
+			}
+			if err == nil {
+				if _, unbounded := a.(search.HillClimb); unbounded {
+					t.Fatalf("%s: unbounded search completed", a.Name())
+				}
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: did not abort within 10s of cancellation", a.Name())
+		}
+	}
+}
+
+func TestCheckpointNilDone(t *testing.T) {
+	c := algo.NewCheckpoint(context.Background(), 1)
+	for i := 0; i < 1000; i++ {
+		if err := c.Check(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var _ algo.CtxScheduler = core.ILS{}
+var _ algo.CtxScheduler = listsched.HEFT{}
+var _ algo.CtxScheduler = search.HillClimb{}
+var _ algo.CtxScheduler = search.Anneal{}
+var _ algo.CtxScheduler = search.Genetic{}
+var _ algo.Algorithm = algo.Func{AlgName: "f", Fn: func(in *sched.Instance) (*sched.Schedule, error) { return nil, nil }}

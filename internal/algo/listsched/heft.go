@@ -7,6 +7,9 @@
 package listsched
 
 import (
+	"context"
+	"fmt"
+
 	"dagsched/internal/algo"
 	"dagsched/internal/sched"
 )
@@ -21,10 +24,20 @@ type HEFT struct{}
 func (HEFT) Name() string { return "HEFT" }
 
 // Schedule implements algo.Algorithm.
-func (HEFT) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+func (h HEFT) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	return h.ScheduleContext(context.Background(), in)
+}
+
+// ScheduleContext implements algo.CtxScheduler: the placement loop polls
+// the context so a canceled request stops mid-schedule.
+func (HEFT) ScheduleContext(ctx context.Context, in *sched.Instance) (*sched.Schedule, error) {
 	order := algo.OrderDescPrecedence(in.G, sched.RankUpward(in))
 	pl := sched.NewPlan(in)
+	check := algo.NewCheckpoint(ctx, 64)
 	for _, t := range order {
+		if err := check.Check(); err != nil {
+			return nil, fmt.Errorf("HEFT: %w", err)
+		}
 		p, s, _ := pl.BestEFT(t, true)
 		pl.Place(t, p, s)
 	}

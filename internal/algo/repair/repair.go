@@ -80,6 +80,9 @@ func Repair(s *sched.Schedule, f Failure) (*sched.Schedule, error) {
 				// slot no longer fits before the failure: the copy is
 				// effectively lost after all.
 				p, st, _ := pl.BestEFT(t, true)
+				if math.IsInf(st, 1) {
+					return nil, fmt.Errorf("repair: no feasible processor for task %d", t)
+				}
 				pl.Place(t, p, st)
 			} else {
 				pl.Place(t, prim.Proc, start)

@@ -7,6 +7,8 @@
 package search
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -101,6 +103,12 @@ func (HillClimb) Name() string { return "HC" }
 
 // Schedule implements algo.Algorithm.
 func (h HillClimb) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	return h.ScheduleContext(context.Background(), in)
+}
+
+// ScheduleContext implements algo.CtxScheduler: each candidate move costs
+// a full decode, so the loop polls the context every iteration.
+func (h HillClimb) ScheduleContext(ctx context.Context, in *sched.Instance) (*sched.Schedule, error) {
 	iters := h.Iters
 	if iters <= 0 {
 		iters = 1000
@@ -111,7 +119,11 @@ func (h HillClimb) Schedule(in *sched.Instance) (*sched.Schedule, error) {
 		return nil, err
 	}
 	curMS := makespan(in, cur)
+	check := algo.NewCheckpoint(ctx, 1)
 	for i := 0; i < iters; i++ {
+		if err := check.Check(); err != nil {
+			return nil, fmt.Errorf("HC: %w", err)
+		}
 		cand := cur.clone()
 		mutate(&cand, rng, in.P())
 		if ms := makespan(in, cand); ms < curMS-1e-12 {
@@ -139,6 +151,11 @@ func (Anneal) Name() string { return "SA" }
 
 // Schedule implements algo.Algorithm.
 func (a Anneal) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	return a.ScheduleContext(context.Background(), in)
+}
+
+// ScheduleContext implements algo.CtxScheduler; see HillClimb.
+func (a Anneal) ScheduleContext(ctx context.Context, in *sched.Instance) (*sched.Schedule, error) {
 	iters := a.Iters
 	if iters <= 0 {
 		iters = 2000
@@ -159,7 +176,11 @@ func (a Anneal) Schedule(in *sched.Instance) (*sched.Schedule, error) {
 	if alpha <= 0 || alpha >= 1 {
 		alpha = math.Pow(1e-3, 1/float64(iters))
 	}
+	check := algo.NewCheckpoint(ctx, 1)
 	for i := 0; i < iters; i++ {
+		if err := check.Check(); err != nil {
+			return nil, fmt.Errorf("SA: %w", err)
+		}
 		cand := cur.clone()
 		mutate(&cand, rng, in.P())
 		ms := makespan(in, cand)
@@ -192,6 +213,12 @@ func (Genetic) Name() string { return "GA" }
 
 // Schedule implements algo.Algorithm.
 func (g Genetic) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	return g.ScheduleContext(context.Background(), in)
+}
+
+// ScheduleContext implements algo.CtxScheduler: the context is polled per
+// offspring (each costs a decode), aborting mid-generation.
+func (g Genetic) ScheduleContext(ctx context.Context, in *sched.Instance) (*sched.Schedule, error) {
 	pop := g.Pop
 	if pop <= 0 {
 		pop = 20
@@ -239,6 +266,7 @@ func (g Genetic) Schedule(in *sched.Instance) (*sched.Schedule, error) {
 		}
 		return best
 	}
+	check := algo.NewCheckpoint(ctx, 1)
 	for gen := 0; gen < gens; gen++ {
 		next := make([]solution, 0, pop)
 		nextFit := make([]float64, 0, pop)
@@ -247,6 +275,9 @@ func (g Genetic) Schedule(in *sched.Instance) (*sched.Schedule, error) {
 		next = append(next, people[e].clone())
 		nextFit = append(nextFit, fitness[e])
 		for len(next) < pop {
+			if err := check.Check(); err != nil {
+				return nil, fmt.Errorf("GA: %w", err)
+			}
 			ma, pa := people[tournament()], people[tournament()]
 			child := ma.clone()
 			for i := range child.assign {

@@ -20,6 +20,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"dagsched/internal/algo"
@@ -80,6 +82,14 @@ func (a ILS) Options() Options { return a.opts }
 
 // Schedule implements algo.Algorithm.
 func (a ILS) Schedule(in *sched.Instance) (*sched.Schedule, error) {
+	return a.ScheduleContext(context.Background(), in)
+}
+
+// ScheduleContext implements algo.CtxScheduler: the per-task placement
+// loop checks the context between tasks (each task costs O(P) trial
+// placements plus clones, so per-task polling is both cheap and prompt)
+// and aborts with the context's error on cancellation.
+func (a ILS) ScheduleContext(ctx context.Context, in *sched.Instance) (*sched.Schedule, error) {
 	maxDups := a.opts.MaxDups
 	if maxDups <= 0 {
 		maxDups = 8
@@ -115,7 +125,11 @@ func (a ILS) Schedule(in *sched.Instance) (*sched.Schedule, error) {
 	}
 
 	pl := sched.NewPlan(in)
+	check := algo.NewCheckpoint(ctx, 1)
 	for _, t := range order {
+		if err := check.Check(); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.name, err)
+		}
 		bestScore := math.Inf(1)
 		bestFinish := math.Inf(1)
 		bestProc := -1

@@ -148,11 +148,22 @@ func names(algs []algo.Algorithm) []string {
 	return out
 }
 
+// fmtMean renders an accumulator's mean for a table cell. Mean (like
+// Min/Max) returns 0 on an empty stream — indistinguishable from a true
+// 0 sample — so a cell that accumulated nothing renders as "—" instead
+// of a misleading 0.000.
+func fmtMean(a *metrics.Accumulator) string {
+	if a.N() == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.3f", a.Mean())
+}
+
 // fmtRow renders a sweep label plus one mean per accumulator.
 func fmtRow(label string, accs []*metrics.Accumulator) []string {
 	row := []string{label}
 	for _, a := range accs {
-		row = append(row, fmt.Sprintf("%.3f", a.Mean()))
+		row = append(row, fmtMean(a))
 	}
 	return row
 }

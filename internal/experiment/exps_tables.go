@@ -229,7 +229,7 @@ func E12() Experiment {
 			}
 			row := []string{fmt.Sprintf("%d", n)}
 			for _, acc := range times {
-				row = append(row, fmt.Sprintf("%.3f", acc.Mean()))
+				row = append(row, fmtMean(acc))
 			}
 			t2.Rows = append(t2.Rows, row)
 		}

@@ -129,8 +129,12 @@ func (a *Accumulator) CI95() float64 {
 	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
 }
 
-// Min and Max return the extreme samples (0 with no samples).
+// Min returns the smallest sample. With no samples it returns 0, which
+// is indistinguishable from a true 0 sample — callers that render or
+// serialize extremes must check N() > 0 first (see experiment.fmtMean
+// and service.statsJSON) rather than print a misleading 0.
 func (a *Accumulator) Min() float64 { return a.min }
 
-// Max returns the largest sample.
+// Max returns the largest sample; the empty-stream caveat of Min
+// applies identically.
 func (a *Accumulator) Max() float64 { return a.max }

@@ -53,17 +53,25 @@ func Analyze(s *Schedule) Analysis {
 	}
 	sort.Slice(order, func(a, b int) bool { return order[a].start > order[b].start })
 
-	// nextOnProc[p-slot]: for each primary copy, the start of the next
-	// assignment on the same processor bounds how far it can slide.
-	nextStart := make(map[[2]float64]float64) // keyed by (proc, start) of a copy
+	// nextStart[i]: the start of the assignment following task i's primary
+	// copy on its processor bounds how far the primary can slide. Walking
+	// each timeline by slot keeps co-located zero-duration assignments
+	// (same proc, same start) distinct — a (proc, start) key would let the
+	// last of them overwrite the others' successor bound.
+	nextStart := make([]float64, n)
+	for i := range nextStart {
+		nextStart[i] = math.Inf(1)
+	}
 	for p := 0; p < in.P(); p++ {
 		tl := s.OnProc(p)
 		for k, a := range tl {
-			key := [2]float64{float64(a.Proc), a.Start}
+			if a.Dup {
+				continue
+			}
 			if k+1 < len(tl) {
-				nextStart[key] = tl[k+1].Start
+				nextStart[a.Task] = tl[k+1].Start
 			} else {
-				nextStart[key] = math.Inf(1)
+				nextStart[a.Task] = math.Inf(1)
 			}
 		}
 	}
@@ -72,7 +80,7 @@ func Analyze(s *Schedule) Analysis {
 		prim := s.Primary(r.task)
 		bound := ms
 		// Processor-order constraint.
-		if nx := nextStart[[2]float64{float64(prim.Proc), prim.Start}]; !math.IsInf(nx, 1) {
+		if nx := nextStart[r.task]; !math.IsInf(nx, 1) {
 			slide := nx - prim.Finish
 			if b := prim.Finish + slide; b < bound {
 				bound = b

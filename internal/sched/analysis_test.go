@@ -88,6 +88,35 @@ func TestAnalyzeIdleTime(t *testing.T) {
 	}
 }
 
+// Co-located zero-duration assignments (same proc, same start) used to
+// share one (proc, start) key in the successor-on-processor bound, so the
+// earlier slots were measured against the last slot's successor and
+// reported phantom slack. Keyed by timeline slot, each zero-duration task
+// is pinned by the assignment that follows it at the same instant.
+func TestAnalyzeZeroDurationSlack(t *testing.T) {
+	b := dag.NewBuilder("zero")
+	a := b.AddTask("a", 0)
+	c := b.AddTask("b", 0)
+	d := b.AddTask("c", 5)
+	in := Consistent(b.MustBuild(), platform.Homogeneous(1, 0, 1))
+	pl := NewPlan(in)
+	pl.Place(a, 0, 0) // [0,0) slot 0
+	pl.Place(c, 0, 0) // [0,0) slot 1
+	pl.Place(d, 0, 0) // [0,5) slot 2
+	s := pl.Finalize("zero")
+	an := Analyze(s)
+	// a may not finish later than c's start (both 0), c not later than
+	// d's start: holding the per-processor order fixed, nothing slides.
+	for i, sl := range an.Slack {
+		if sl > 1e-9 {
+			t.Fatalf("task %d has slack %g, want 0 (order on P0 is fixed)", i, sl)
+		}
+	}
+	if len(an.Critical) != 3 {
+		t.Fatalf("Critical = %v, want all three tasks", an.Critical)
+	}
+}
+
 // Property: slack is sound — delaying any single task's finish by its
 // reported slack keeps the makespan when re-simulated (validated against
 // the validator's arrival rule). Weaker practical check: slack is

@@ -173,9 +173,12 @@ func (pl *Plan) EFTOn(i dag.TaskID, p int, insertion bool) (start, finish float6
 
 // BestEFT returns the processor minimizing the earliest finish time of
 // task i, with its start and finish. Ties break toward the smaller
-// processor id.
+// processor id. When no processor has a feasible slot (every processor
+// blocked via BlockProc), it returns start = finish = +Inf with proc 0;
+// callers that schedule against blockable plans must check
+// math.IsInf(finish, 1) before placing.
 func (pl *Plan) BestEFT(i dag.TaskID, insertion bool) (proc int, start, finish float64) {
-	finish = math.Inf(1)
+	start, finish = math.Inf(1), math.Inf(1)
 	for p := 0; p < pl.in.P(); p++ {
 		s, f := pl.EFTOn(i, p, insertion)
 		if f < finish {

@@ -317,6 +317,29 @@ func TestBlockProc(t *testing.T) {
 	}
 }
 
+// With every processor blocked, BestEFT used to report finish=+Inf but
+// proc=0, start=0 — inviting a careless Place at time 0 on a blocked
+// processor. The no-feasible-slot contract is now explicit: start and
+// finish are both +Inf.
+func TestBestEFTAllBlocked(t *testing.T) {
+	g := diamondGraph(t)
+	in := Consistent(g, twoProc())
+	pl := NewPlan(in)
+	pl.BlockProc(0, 0)
+	pl.BlockProc(1, 0)
+	_, s, f := pl.BestEFT(0, true)
+	if !math.IsInf(f, 1) {
+		t.Fatalf("finish = %g, want +Inf", f)
+	}
+	if !math.IsInf(s, 1) {
+		t.Fatalf("start = %g, want +Inf (callers must not Place here)", s)
+	}
+	// EFTOn on a blocked processor agrees.
+	if es, ef := pl.EFTOn(0, 0, true); !math.IsInf(es, 1) || !math.IsInf(ef, 1) {
+		t.Fatalf("EFTOn = %g,%g, want +Inf,+Inf", es, ef)
+	}
+}
+
 func TestBlockProcMath(t *testing.T) {
 	// Guard the +Inf arithmetic: a finite slot plus duration never trips
 	// the unblocked (+Inf) comparison.

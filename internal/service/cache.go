@@ -1,0 +1,92 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"dagsched/internal/sched"
+)
+
+// cacheKey canonically identifies (instance, algorithm, options): the
+// instance is re-serialized through Instance.WriteJSON so two requests
+// that parse to the same problem hash identically regardless of the
+// JSON formatting they arrived in.
+func cacheKey(in *sched.Instance, algorithm string, analyze bool) (string, error) {
+	h := sha256.New()
+	if err := in.WriteJSON(h); err != nil {
+		return "", fmt.Errorf("service: hashing instance: %w", err)
+	}
+	fmt.Fprintf(h, "|alg=%s|analyze=%v", algorithm, analyze)
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// lruCache is a mutex-guarded LRU of schedule responses with hit/miss
+// accounting. Stored responses are treated as immutable: Get returns a
+// shallow copy with Cached set, never the stored value itself.
+type lruCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List               // front = most recent
+	byKey  map[string]*list.Element // value: *cacheEntry
+	hits   int64
+	misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	resp *ScheduleResponse
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns a copy of the cached response marked Cached, or nil.
+func (c *lruCache) Get(key string) *ScheduleResponse {
+	if c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	cp := *el.Value.(*cacheEntry).resp
+	cp.Cached = true
+	return &cp
+}
+
+// Put stores the response, evicting the least recently used entry when
+// full. The caller must not mutate resp afterwards.
+func (c *lruCache) Put(key string, resp *ScheduleResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).resp = resp
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	c.byKey[key] = el
+	if c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Stats returns hits, misses and current size.
+func (c *lruCache) Stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,415 @@
+// Package service implements schedd, a long-running HTTP JSON service
+// that schedules task graphs on demand: POST a problem instance (or a
+// bare graph) plus an algorithm name, get the schedule, its measures and
+// an optional slack/idle analysis back.
+//
+// The serving layer provides the robustness trimmings a scheduling
+// endpoint needs under adversarial traffic: a bounded worker pool behind
+// a bounded request queue (overload answers 503 instead of piling up
+// goroutines), a per-request deadline plumbed as context cancellation
+// into the scheduling hot loops (a timed-out request stops burning CPU),
+// an LRU result cache keyed by a canonical content hash of (instance,
+// algorithm, options), request/latency/queue/cache metrics at /metrics,
+// and graceful shutdown that drains in-flight work.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/algo/suite"
+	"dagsched/internal/dag"
+	"dagsched/internal/metrics"
+	"dagsched/internal/platform"
+	"dagsched/internal/sched"
+)
+
+// Options configures a Server. The zero value serves on 127.0.0.1:8080
+// with GOMAXPROCS workers, a 64-deep queue, a 256-entry cache, a 30s
+// default deadline and the full algorithm registry.
+type Options struct {
+	// Addr is the listen address (default "127.0.0.1:8080").
+	Addr string
+	// Workers bounds concurrent scheduling runs (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker; a full queue
+	// answers 503 (default 64).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in entries; negative
+	// disables caching (default 256).
+	CacheSize int
+	// DefaultTimeout applies to requests without timeoutMs (default 30s);
+	// MaxTimeout clamps requested deadlines (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes bounds the request body (default 32 MiB).
+	MaxBodyBytes int64
+	// Resolver maps an algorithm name to an implementation (default
+	// suite.ByName — the full registry including the search lineup).
+	Resolver func(name string) (algo.Algorithm, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:8080"
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.Resolver == nil {
+		o.Resolver = suite.ByName
+	}
+	return o
+}
+
+// job is one scheduling request queued for the worker pool.
+type job struct {
+	ctx     context.Context
+	alg     algo.Algorithm
+	in      *sched.Instance
+	analyze bool
+	key     string
+	// done receives exactly one result; buffered so a worker never
+	// blocks on a handler that already gave up on its deadline.
+	done chan jobResult
+}
+
+type jobResult struct {
+	resp *ScheduleResponse
+	err  error
+}
+
+// Server is a schedd instance. Create with New, run with Start (or the
+// Serve convenience wrapper), stop with Shutdown.
+type Server struct {
+	opts    Options
+	jobs    chan *job
+	quit     chan struct{} // closed by Shutdown; workers exit on it
+	quitOnce sync.Once
+	workers  sync.WaitGroup
+	httpSrv *http.Server
+	ln      net.Listener
+	cache   *lruCache
+	met     *serverMetrics
+}
+
+// New returns an unstarted server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		jobs:  make(chan *job, opts.QueueDepth),
+		quit:  make(chan struct{}),
+		cache: newLRUCache(opts.CacheSize),
+		met:   newServerMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.httpSrv = &http.Server{Handler: s.instrument(mux)}
+	return s
+}
+
+// Start listens on opts.Addr, launches the worker pool and serves in the
+// background. It returns the bound address (useful with port 0).
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return "", fmt.Errorf("service: listen %s: %w", s.opts.Addr, err)
+	}
+	s.ln = ln
+	for w := 0; w < s.opts.Workers; w++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	go func() {
+		// ErrServerClosed is the normal Shutdown outcome.
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			_ = err
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the server gracefully: the listener closes, in-flight
+// requests (and the queued work they wait on) run to completion bounded
+// by ctx, then the worker pool exits. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	// All handlers have returned (or ctx expired); tell the pool to
+	// exit. The jobs channel is never closed, so a straggling handler
+	// that lost the drain race can still enqueue safely (nobody will
+	// serve it, and its deadline unblocks it).
+	s.quitOnce.Do(func() { close(s.quit) })
+	s.workers.Wait()
+	return err
+}
+
+// Serve runs a server until ctx is canceled, then shuts down gracefully
+// within drain. It is the main loop of cmd/schedd.
+func Serve(ctx context.Context, opts Options, drain time.Duration) error {
+	s := New(opts)
+	if _, err := s.Start(); err != nil {
+		return err
+	}
+	<-ctx.Done()
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	return s.Shutdown(dctx)
+}
+
+// worker drains the job queue until Shutdown. A job whose context
+// already expired while queued is answered without running the
+// algorithm.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			if err := j.ctx.Err(); err != nil {
+				j.done <- jobResult{err: err}
+				continue
+			}
+			j.done <- s.run(j)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// run executes one scheduling job under its context.
+func (s *Server) run(j *job) jobResult {
+	start := time.Now()
+	sch, err := algo.ScheduleContext(j.ctx, j.alg, j.in)
+	elapsed := time.Since(start)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	if err := sch.Validate(); err != nil {
+		return jobResult{err: fmt.Errorf("%s produced an invalid schedule: %w", j.alg.Name(), err)}
+	}
+	resp := &ScheduleResponse{
+		Algorithm:  sch.Algorithm(),
+		Makespan:   sch.Makespan(),
+		SLR:        metrics.SLR(sch),
+		Speedup:    metrics.Speedup(sch),
+		Efficiency: metrics.Efficiency(sch),
+		Duplicates: sch.NumDuplicates(),
+		RuntimeMs:  float64(elapsed.Microseconds()) / 1000,
+	}
+	in := sch.Instance()
+	for p := 0; p < in.P(); p++ {
+		for _, a := range sch.OnProc(p) {
+			resp.Assignments = append(resp.Assignments, AssignmentJSON{
+				Task:   int(a.Task),
+				Name:   in.G.Task(a.Task).Name,
+				Proc:   a.Proc,
+				Start:  a.Start,
+				Finish: a.Finish,
+				Dup:    a.Dup,
+			})
+		}
+	}
+	if j.analyze {
+		an := sched.Analyze(sch)
+		aj := &AnalysisJSON{
+			Slack:     an.Slack,
+			IdleTime:  an.IdleTime,
+			IdleShare: an.IdleShare,
+			Critical:  make([]int, 0, len(an.Critical)),
+		}
+		for _, t := range an.Critical {
+			aj.Critical = append(aj.Critical, int(t))
+		}
+		resp.Analysis = aj
+	}
+	s.met.ObserveRun(resp.Algorithm, resp.Makespan, resp.RuntimeMs)
+	s.cache.Put(j.key, resp)
+	return jobResult{resp: resp}
+}
+
+// statusRecorder captures the response code for request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the mux with request counting and latency recording.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		s.met.ObserveRequest(rec.status, time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": suite.Names()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.cache.Stats()
+	snap := s.met.Snapshot(len(s.jobs), cap(s.jobs), s.opts.Workers, hits, misses, size, s.opts.CacheSize)
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// parseRequest validates the wire request into a problem instance.
+func (s *Server) parseRequest(body io.Reader) (*ScheduleRequest, algo.Algorithm, *sched.Instance, error) {
+	var req ScheduleRequest
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(&req); err != nil {
+		return nil, nil, nil, fmt.Errorf("decoding request: %w", err)
+	}
+	if req.Algorithm == "" {
+		return nil, nil, nil, fmt.Errorf("missing algorithm name")
+	}
+	a, err := s.opts.Resolver(req.Algorithm)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	switch {
+	case len(req.Instance) > 0 && len(req.Graph) > 0:
+		return nil, nil, nil, fmt.Errorf("request carries both instance and graph; send one")
+	case len(req.Instance) > 0:
+		in, err := sched.ReadInstanceJSON(bytes.NewReader(req.Instance))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return &req, a, in, nil
+	case len(req.Graph) > 0:
+		g, err := dag.ReadJSON(bytes.NewReader(req.Graph))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		procs := req.Processors
+		if procs <= 0 {
+			procs = 8
+		}
+		tpu := req.TimePerUnit
+		if tpu == 0 {
+			tpu = 1
+		}
+		if req.Latency < 0 || tpu < 0 {
+			return nil, nil, nil, fmt.Errorf("negative link parameters")
+		}
+		in := sched.Consistent(g, platform.Homogeneous(procs, req.Latency, tpu))
+		return &req, a, in, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("request carries neither instance nor graph")
+	}
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	req, a, in, err := s.parseRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key, err := cacheKey(in, a.Name(), req.Analyze)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if resp := s.cache.Get(key); resp != nil {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	timeout := s.opts.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > s.opts.MaxTimeout {
+			timeout = s.opts.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	j := &job{ctx: ctx, alg: a, in: in, analyze: req.Analyze, key: key, done: make(chan jobResult, 1)}
+	select {
+	case s.jobs <- j:
+	default:
+		writeError(w, http.StatusServiceUnavailable, "queue full (%d deep)", cap(s.jobs))
+		return
+	}
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			if errors.Is(res.err, context.DeadlineExceeded) {
+				writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %s: %v", timeout, res.err)
+			} else if errors.Is(res.err, context.Canceled) {
+				writeError(w, http.StatusServiceUnavailable, "request canceled: %v", res.err)
+			} else {
+				writeError(w, http.StatusInternalServerError, "%v", res.err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, res.resp)
+	case <-ctx.Done():
+		// Deadline hit while queued or mid-run; the worker observes the
+		// same context and abandons the job promptly.
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %s", timeout)
+	}
+}

@@ -1,0 +1,124 @@
+package service
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dagsched/internal/metrics"
+)
+
+// latencyBucketsMs are the cumulative histogram boundaries of request
+// latency, in milliseconds.
+var latencyBucketsMs = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// serverMetrics aggregates the observability state of one Server. All
+// methods are safe for concurrent use.
+type serverMetrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	total     int64
+	byStatus  map[int]int64
+	latCounts []int64 // per bucket, non-cumulative; rendered cumulative
+	latCount  int64
+	latSumMs  float64
+	// Per-algorithm makespan and scheduling-runtime accumulators over
+	// uncached successful runs.
+	algMakespan map[string]*metrics.Accumulator
+	algRuntime  map[string]*metrics.Accumulator
+	algCount    map[string]int
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		start:       time.Now(),
+		byStatus:    make(map[int]int64),
+		latCounts:   make([]int64, len(latencyBucketsMs)+1),
+		algMakespan: make(map[string]*metrics.Accumulator),
+		algRuntime:  make(map[string]*metrics.Accumulator),
+		algCount:    make(map[string]int),
+	}
+}
+
+// ObserveRequest records one finished HTTP request.
+func (m *serverMetrics) ObserveRequest(status int, elapsed time.Duration) {
+	ms := float64(elapsed.Microseconds()) / 1000
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.total++
+	m.byStatus[status]++
+	i := sort.SearchFloat64s(latencyBucketsMs, ms)
+	m.latCounts[i]++
+	m.latCount++
+	m.latSumMs += ms
+}
+
+// ObserveRun records one successful uncached scheduling run.
+func (m *serverMetrics) ObserveRun(algorithm string, makespan, runtimeMs float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	am, ok := m.algMakespan[algorithm]
+	if !ok {
+		am = &metrics.Accumulator{}
+		m.algMakespan[algorithm] = am
+		m.algRuntime[algorithm] = &metrics.Accumulator{}
+	}
+	am.Add(makespan)
+	m.algRuntime[algorithm].Add(runtimeMs)
+	m.algCount[algorithm]++
+}
+
+// statsJSON renders an accumulator. Accumulator.Min/Max return 0 on an
+// empty stream, indistinguishable from a true 0 sample, so both are
+// omitted (nil) until at least one sample arrived.
+func statsJSON(a *metrics.Accumulator) StatsJSON {
+	s := StatsJSON{N: a.N(), Mean: a.Mean(), StdDev: a.StdDev()}
+	if a.N() > 0 {
+		mn, mx := a.Min(), a.Max()
+		s.Min, s.Max = &mn, &mx
+	}
+	return s
+}
+
+// Snapshot renders the metrics; queue and cache figures are supplied by
+// the server, which owns those structures.
+func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, cacheMisses int64, cacheSize, cacheCap int) MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out MetricsSnapshot
+	out.UptimeSec = time.Since(m.start).Seconds()
+	out.Requests.Total = m.total
+	out.Requests.ByStatus = make(map[string]int64, len(m.byStatus))
+	for code, n := range m.byStatus {
+		out.Requests.ByStatus[statusLabel(code)] = n
+	}
+	var cum int64
+	for i, le := range latencyBucketsMs {
+		cum += m.latCounts[i]
+		out.LatencyMs.Buckets = append(out.LatencyMs.Buckets, HistogramBucket{LeMs: le, Count: cum})
+	}
+	out.LatencyMs.Count = m.latCount
+	out.LatencyMs.SumMs = m.latSumMs
+	out.Queue.Depth = queueDepth
+	out.Queue.Capacity = queueCap
+	out.Queue.Workers = workers
+	out.Cache.Hits = cacheHits
+	out.Cache.Misses = cacheMisses
+	if tot := cacheHits + cacheMisses; tot > 0 {
+		out.Cache.HitRate = float64(cacheHits) / float64(tot)
+	}
+	out.Cache.Size = cacheSize
+	out.Cache.Capacity = cacheCap
+	out.Algorithms = make(map[string]AlgorithmStats, len(m.algCount))
+	for name, n := range m.algCount {
+		out.Algorithms[name] = AlgorithmStats{
+			Count:    n,
+			Makespan: statsJSON(m.algMakespan[name]),
+			Runtime:  statsJSON(m.algRuntime[name]),
+		}
+	}
+	return out
+}
+
+func statusLabel(code int) string { return strconv.Itoa(code) }

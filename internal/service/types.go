@@ -1,0 +1,129 @@
+package service
+
+import (
+	"encoding/json"
+)
+
+// ScheduleRequest is the wire form of one scheduling query. Exactly one
+// of Instance or Graph must be set: Instance carries a full problem
+// (graph, system, cost matrix) as written by Instance.WriteJSON; Graph
+// carries a bare task graph that is scheduled onto a homogeneous system
+// described by Processors/Latency/TimePerUnit with consistent costs.
+type ScheduleRequest struct {
+	// Algorithm is the registry display name, e.g. "HEFT" or "ILS".
+	Algorithm string `json:"algorithm"`
+	// Instance is a full problem instance (see Instance.WriteJSON).
+	Instance json.RawMessage `json:"instance,omitempty"`
+	// Graph is a bare task graph (see Graph.WriteJSON).
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Processors, Latency and TimePerUnit describe the homogeneous
+	// system a bare Graph is scheduled onto. Processors defaults to 8.
+	Processors  int     `json:"processors,omitempty"`
+	Latency     float64 `json:"latency,omitempty"`
+	TimePerUnit float64 `json:"timePerUnit,omitempty"`
+	// Analyze adds per-task slack, the critical set and per-processor
+	// idle time to the response.
+	Analyze bool `json:"analyze,omitempty"`
+	// TimeoutMs caps this request's scheduling time. Zero applies the
+	// server default; values above the server maximum are clamped.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// ScheduleResponse is the wire form of a scheduling result.
+type ScheduleResponse struct {
+	Algorithm  string  `json:"algorithm"`
+	Makespan   float64 `json:"makespan"`
+	SLR        float64 `json:"slr"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	Duplicates int     `json:"duplicates"`
+	// RuntimeMs is the scheduling time of the run that produced this
+	// result; a cached response reports the original run's time.
+	RuntimeMs float64 `json:"runtimeMs"`
+	// Cached marks a response served from the result cache.
+	Cached      bool             `json:"cached"`
+	Assignments []AssignmentJSON `json:"assignments"`
+	Analysis    *AnalysisJSON    `json:"analysis,omitempty"`
+}
+
+// AssignmentJSON is one task copy placed on a processor.
+type AssignmentJSON struct {
+	Task   int     `json:"task"`
+	Name   string  `json:"name,omitempty"`
+	Proc   int     `json:"proc"`
+	Start  float64 `json:"start"`
+	Finish float64 `json:"finish"`
+	Dup    bool    `json:"dup,omitempty"`
+}
+
+// AnalysisJSON mirrors sched.Analysis on the wire.
+type AnalysisJSON struct {
+	Slack     []float64 `json:"slack"`
+	Critical  []int     `json:"critical"`
+	IdleTime  []float64 `json:"idleTime"`
+	IdleShare []float64 `json:"idleShare"`
+}
+
+// errorJSON is the body of every non-2xx response.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// MetricsSnapshot is the body of GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSec float64 `json:"uptimeSec"`
+	Requests  struct {
+		Total    int64            `json:"total"`
+		ByStatus map[string]int64 `json:"byStatus"`
+	} `json:"requests"`
+	LatencyMs HistogramJSON `json:"latencyMs"`
+	Queue     struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+		Workers  int `json:"workers"`
+	} `json:"queue"`
+	Cache struct {
+		Hits     int64   `json:"hits"`
+		Misses   int64   `json:"misses"`
+		HitRate  float64 `json:"hitRate"`
+		Size     int     `json:"size"`
+		Capacity int     `json:"capacity"`
+	} `json:"cache"`
+	// Algorithms accumulates makespan and scheduling-runtime summary
+	// statistics per algorithm over every uncached successful request.
+	Algorithms map[string]AlgorithmStats `json:"algorithms"`
+}
+
+// HistogramJSON is a cumulative latency histogram.
+type HistogramJSON struct {
+	// Buckets[i].Count is the number of observations ≤ Buckets[i].LeMs;
+	// the implicit final bucket (+Inf) is Count.
+	Buckets []HistogramBucket `json:"buckets"`
+	Count   int64             `json:"count"`
+	SumMs   float64           `json:"sumMs"`
+}
+
+// HistogramBucket is one cumulative bucket boundary.
+type HistogramBucket struct {
+	LeMs  float64 `json:"leMs"`
+	Count int64   `json:"count"`
+}
+
+// AlgorithmStats summarizes one algorithm's serving history.
+type AlgorithmStats struct {
+	Count    int       `json:"count"`
+	Makespan StatsJSON `json:"makespan"`
+	Runtime  StatsJSON `json:"runtimeMs"`
+}
+
+// StatsJSON renders a metrics.Accumulator. Min and Max are pointers
+// because Accumulator.Min/Max return 0 on an empty stream — a value a
+// real sample could also take — so empty accumulators serialize them as
+// null instead of a misleading 0.
+type StatsJSON struct {
+	N      int      `json:"n"`
+	Mean   float64  `json:"mean"`
+	StdDev float64  `json:"stdDev"`
+	Min    *float64 `json:"min,omitempty"`
+	Max    *float64 `json:"max,omitempty"`
+}

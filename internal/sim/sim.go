@@ -69,22 +69,38 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 
 	// Collect all copies in global scheduled-start order. Every copy a
 	// consumer reads from finishes (in the schedule) before the consumer
-	// starts, so this order is a valid computation order.
+	// starts; zero-duration copies can share the consumer's start instant,
+	// so equal starts break ties by topological order (sources first),
+	// then by processor and timeline slot for determinism.
 	type copyRef struct {
 		a        sched.Assignment
 		procSlot int // index within its processor's timeline
 	}
 	var copies []copyRef
+	byTask := make([][]copyRef, in.N())
 	for p := 0; p < in.P(); p++ {
 		for k, a := range s.OnProc(p) {
-			copies = append(copies, copyRef{a: a, procSlot: k})
+			c := copyRef{a: a, procSlot: k}
+			copies = append(copies, c)
+			byTask[a.Task] = append(byTask[a.Task], c)
 		}
 	}
-	sort.SliceStable(copies, func(x, y int) bool {
-		if copies[x].a.Start != copies[y].a.Start {
-			return copies[x].a.Start < copies[y].a.Start
+	topo := make([]int, in.N())
+	for i, t := range in.G.TopoOrder() {
+		topo[t] = i
+	}
+	sort.Slice(copies, func(x, y int) bool {
+		cx, cy := copies[x], copies[y]
+		if cx.a.Start != cy.a.Start {
+			return cx.a.Start < cy.a.Start
 		}
-		return copies[x].a.Proc < copies[y].a.Proc
+		if topo[cx.a.Task] != topo[cy.a.Task] {
+			return topo[cx.a.Task] < topo[cy.a.Task]
+		}
+		if cx.a.Proc != cy.a.Proc {
+			return cx.a.Proc < cy.a.Proc
+		}
+		return cx.procSlot < cy.procSlot
 	})
 	// Perturbed durations, drawn in deterministic copy order.
 	durs := make([]float64, len(copies))
@@ -98,22 +114,22 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 	// Routing fixed at schedule time: for consumer copy c and predecessor
 	// task m, the source is the copy of m with the earliest *scheduled*
 	// arrival at c's processor.
-	route := func(c sched.Assignment, m dag.TaskID, data float64) sched.Assignment {
-		var best sched.Assignment
+	route := func(c copyRef, m dag.TaskID, data float64) copyRef {
+		best := byTask[m][0]
 		bestT := math.Inf(1)
-		for _, d := range s.Copies(m) {
-			if t := d.Finish + in.Sys.CommCost(d.Proc, c.Proc, data); t < bestT {
+		for _, d := range byTask[m] {
+			if t := d.a.Finish + in.Sys.CommCost(d.a.Proc, c.a.Proc, data); t < bestT {
 				bestT, best = t, d
 			}
 		}
 		return best
 	}
-	// Actual finish per (task, proc) copy: keyed by the scheduled start,
-	// which identifies a copy uniquely on its processor.
+	// Actual finish per copy, keyed by (processor, timeline slot): the one
+	// identity that stays unique when copies of the same task share a
+	// start instant (zero-duration tasks).
 	type key struct {
-		task  dag.TaskID
-		proc  int
-		start float64
+		proc     int
+		procSlot int
 	}
 	actualFinish := make(map[key]float64, len(copies))
 	procFree := make([]float64, in.P())
@@ -128,22 +144,22 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 	for i, c := range copies {
 		ready := 0.0
 		for _, pe := range in.G.Pred(c.a.Task) {
-			src := route(c.a, pe.To, pe.Data)
-			f, ok := actualFinish[key{src.Task, src.Proc, src.Start}]
+			src := route(c, pe.To, pe.Data)
+			f, ok := actualFinish[key{src.a.Proc, src.procSlot}]
 			if !ok {
-				return Report{}, fmt.Errorf("sim: copy of task %d consumed before its source (task %d on P%d) ran", c.a.Task, src.Task, src.Proc)
+				return Report{}, fmt.Errorf("sim: copy of task %d consumed before its source (task %d on P%d) ran", c.a.Task, src.a.Task, src.a.Proc)
 			}
 			var arrival float64
-			if src.Proc == c.a.Proc {
+			if src.a.Proc == c.a.Proc {
 				arrival = f
 			} else {
-				dur := in.Sys.CommCost(src.Proc, c.a.Proc, pe.Data)
+				dur := in.Sys.CommCost(src.a.Proc, c.a.Proc, pe.Data)
 				if cfg.Contention {
-					xferStart := math.Max(f, math.Max(sendFree[src.Proc], recvFree[c.a.Proc]))
+					xferStart := math.Max(f, math.Max(sendFree[src.a.Proc], recvFree[c.a.Proc]))
 					arrival = xferStart + dur
-					sendFree[src.Proc] = arrival
+					sendFree[src.a.Proc] = arrival
 					recvFree[c.a.Proc] = arrival
-					sendBusy[src.Proc] += dur
+					sendBusy[src.a.Proc] += dur
 				} else {
 					arrival = f + dur
 				}
@@ -157,7 +173,7 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 		finish := start + durs[i]
 		procFree[c.a.Proc] = finish
 		busy[c.a.Proc] += durs[i]
-		actualFinish[key{c.a.Task, c.a.Proc, c.a.Start}] = finish
+		actualFinish[key{c.a.Proc, c.procSlot}] = finish
 		if !c.a.Dup {
 			rep.Start[c.a.Task] = start
 			rep.Finish[c.a.Task] = finish

@@ -9,6 +9,7 @@ import (
 	"dagsched/internal/algo/listsched"
 	"dagsched/internal/core"
 	"dagsched/internal/dag"
+	"dagsched/internal/platform"
 	"dagsched/internal/sched"
 	"dagsched/internal/testfix"
 )
@@ -111,6 +112,43 @@ func TestNoiseValidation(t *testing.T) {
 	}
 	if _, err := Run(s, Config{Noise: 1}); err == nil {
 		t.Fatal("noise 1 accepted")
+	}
+}
+
+// A zero-cost task whose primary and duplicate share one (proc, start)
+// instant used to collide in the actual-finish map, and a consumer on a
+// lower-numbered processor starting at the same instant used to replay
+// before its source, aborting the run. Both are exercised here.
+func TestReplayZeroDurationDuplicates(t *testing.T) {
+	b := dag.NewBuilder("zero")
+	a := b.AddTask("a", 0)
+	c := b.AddTask("b", 1)
+	b.AddEdge(a, c, 0)
+	g := b.MustBuild()
+	sys := platform.Homogeneous(2, 0, 1)
+	in, err := sched.NewInstance(g, sys, [][]float64{{0, 0}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := sched.NewPlan(in)
+	pl.Place(a, 1, 0)    // zero-duration primary on P1 at t=0
+	pl.PlaceDup(a, 1, 0) // duplicate collides on (task, proc, start)
+	pl.Place(c, 0, 0)    // consumer on P0 at the same instant
+	s := pl.Finalize("manual")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("fixture schedule invalid: %v", err)
+	}
+	for _, noise := range []float64{0, 0.4} {
+		rep, err := Run(s, Config{Noise: noise, Seed: 3})
+		if err != nil {
+			t.Fatalf("noise %g: %v", noise, err)
+		}
+		if rep.Start[c] != 0 {
+			t.Fatalf("noise %g: consumer started at %g, want 0", noise, rep.Start[c])
+		}
+		if noise == 0 && math.Abs(rep.Makespan-s.Makespan()) > 1e-9 {
+			t.Fatalf("replay makespan %g != analytic %g", rep.Makespan, s.Makespan())
+		}
 	}
 }
 
