@@ -22,16 +22,23 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the concurrency-heavy subsystems: the
-# experiment repetition worker pool and the schedd service (worker pool,
-# cache, graceful shutdown). `race` already covers them once; this tier
-# re-runs them with fresh state so interleavings differ between passes.
+# experiment repetition worker pool, the schedd service (worker pool,
+# cache, graceful shutdown), the speculative-transaction layer, and the
+# differential suite with the per-processor trial workers forced on.
+# `race` already covers them once; this tier re-runs them with fresh
+# state so interleavings differ between passes.
 race-concurrent:
-	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/...
+	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/algo/suite
 
-# One iteration of the scheduler-throughput benchmark at every size —
-# a smoke test of the hot path, not a measurement.
+# One iteration of the scheduler-throughput benchmark at every size,
+# plus the transaction-layer micro-benchmarks (trial begin/rollback,
+# TryDuplication, MCP ready-queue scaling, ILS end-to-end) — a smoke
+# test of the hot paths, not a measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkAlgorithms -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkTxn|BenchmarkTryDuplication' -benchtime 1x ./internal/sched ./internal/algo
+	$(GO) test -run '^$$' -bench 'BenchmarkMCPScaling' -benchtime 1x ./internal/algo/listsched
+	$(GO) test -run '^$$' -bench 'BenchmarkILSEndToEnd' -benchtime 1x ./internal/core
 
 # A few seconds of coverage-guided fuzzing per parser entry point.
 fuzz-smoke:

@@ -59,20 +59,22 @@ func BenchmarkE17DupBudget(b *testing.B)      { runExperiment(b, "E17") }
 func BenchmarkE18LinkSpread(b *testing.B)     { runExperiment(b, "E18") }
 
 // benchSizeCap bounds the DAG size each algorithm is benchmarked at in
-// BenchmarkAlgorithms. The insertion-based list schedulers scale to
-// 10k-task DAGs; the pair-scanning (ETF, DLS) and clone-heavy
-// (ILS/duplication/clustering/contention) algorithms are inherently
-// super-quadratic and are benchmarked up to the largest size they finish
-// in reasonable time. Algorithms not listed default to 10000.
+// BenchmarkAlgorithms (it mirrors scaleSizeCap in cmd/schedbench). The
+// insertion-based list schedulers scale to 10k-task DAGs; the
+// pair-scanning (ETF, DLS) and clustering/contention algorithms are
+// inherently super-quadratic and stop earlier. The duplication family
+// evaluates trials through the speculative-transaction layer, so the
+// non-duplicating ILS variants reach 10k and the duplicating schedulers
+// are benchmarked to 1k. Algorithms not listed default to 10000.
 var benchSizeCap = map[string]int{
 	"ETF":    1000,
 	"DLS":    1000,
-	"ILS":    400,
-	"ILS-L":  400,
-	"ILS-D":  400,
-	"ILS-R":  1000,
-	"DSH":    400,
-	"BTDH":   400,
+	"ILS":    1000,
+	"ILS-L":  10000,
+	"ILS-D":  1000,
+	"ILS-R":  10000,
+	"DSH":    1000,
+	"BTDH":   1000,
 	"DSC":    1000,
 	"C-HEFT": 1000,
 }

@@ -30,8 +30,8 @@ func (DSH) Name() string { return "DSH" }
 
 // Schedule implements algo.Algorithm.
 func (DSH) Schedule(in *sched.Instance) (*sched.Schedule, error) {
-	return duplicationSchedule(in, "DSH", func(pl *sched.Plan, t dag.TaskID, p int) algo.DupResult {
-		return algo.TryDuplication(pl, t, p, maxDups)
+	return duplicationSchedule(in, "DSH", func(tx *sched.Txn, t dag.TaskID, p int) algo.DupResult {
+		return algo.TryDuplication(tx, t, p, maxDups)
 	})
 }
 
@@ -50,12 +50,18 @@ func (BTDH) Schedule(in *sched.Instance) (*sched.Schedule, error) {
 	return duplicationSchedule(in, "BTDH", tryDuplicationBTDH)
 }
 
-// duplicationSchedule is the shared driver: static-level ready list, trial
-// per processor, commit of the winning trial plan.
-func duplicationSchedule(in *sched.Instance, name string, try func(*sched.Plan, dag.TaskID, int) algo.DupResult) (*sched.Schedule, error) {
+// duplicationSchedule is the shared driver: static-level ready list, one
+// speculative transaction per candidate processor (evaluated concurrently
+// on large instances — transactions make the trials independent), commit
+// of the winning transaction.
+func duplicationSchedule(in *sched.Instance, name string, try func(*sched.Txn, dag.TaskID, int) algo.DupResult) (*sched.Schedule, error) {
 	sl := sched.StaticLevel(in)
 	pl := sched.NewPlan(in)
 	rl := algo.NewReadyList(in.G)
+	group := algo.NewTrialGroup(in.P(), in.N())
+	defer group.Close()
+	txs := make([]*sched.Txn, in.P())
+	results := make([]algo.DupResult, in.P())
 	for !rl.Empty() {
 		var pick dag.TaskID = -1
 		for _, r := range rl.Ready() {
@@ -63,37 +69,48 @@ func duplicationSchedule(in *sched.Instance, name string, try func(*sched.Plan, 
 				pick = r
 			}
 		}
+		group.Run(in.P(), func(p int) {
+			tx := txs[p]
+			if tx == nil {
+				tx = pl.Begin()
+				txs[p] = tx
+			} else {
+				tx.Reset()
+			}
+			results[p] = try(tx, pick, p)
+		})
+		// Winner selection stays sequential in ascending processor order,
+		// preserving the tie-break of the clone-based path.
 		bestFinish := math.Inf(1)
-		var best algo.DupResult
 		bestProc := -1
 		for p := 0; p < in.P(); p++ {
-			res := try(pl, pick, p)
-			if res.Finish < bestFinish {
-				bestFinish, best, bestProc = res.Finish, res, p
+			if results[p].Finish < bestFinish {
+				bestFinish, bestProc = results[p].Finish, p
 			}
 		}
-		pl = best.Plan
-		pl.Place(pick, bestProc, best.Start)
+		txs[bestProc].Commit()
+		pl.Place(pick, bestProc, results[bestProc].Start)
 		rl.Complete(pick)
 	}
 	return pl.Finalize(name), nil
 }
 
 // tryDuplicationBTDH duplicates the chain of remote critical parents
-// unconditionally, remembering the best start time seen, and returns the
-// best snapshot. Termination: every accepted duplicate makes one more
-// parent local on p and local parents are never candidates again.
-func tryDuplicationBTDH(pl *sched.Plan, t dag.TaskID, p int) algo.DupResult {
-	in := pl.Instance()
+// unconditionally, remembering the journal position of the best start
+// time seen, and rewinds the transaction to it. Termination: every
+// accepted duplicate makes one more parent local on p and local parents
+// are never candidates again.
+func tryDuplicationBTDH(tx *sched.Txn, t dag.TaskID, p int) algo.DupResult {
+	in := tx.Instance()
 	dur := in.Cost(t, p)
 
-	work := pl.Clone()
-	start := work.FindSlot(p, work.DataReady(t, p), dur, true)
-	best := algo.DupResult{Plan: work.Clone(), Start: start, Finish: start + dur}
+	start := tx.FindSlot(p, tx.DataReady(t, p), dur, true)
+	best := algo.DupResult{Start: start, Finish: start + dur}
+	bestMark := tx.Mark()
 
 	dups := 0
 	for dups < maxDups {
-		parent, arrival := algo.CriticalParent(work, t, p)
+		parent, arrival := algo.CriticalParent(tx, t, p)
 		if parent == -1 {
 			break
 		}
@@ -103,14 +120,16 @@ func tryDuplicationBTDH(pl *sched.Plan, t dag.TaskID, p int) algo.DupResult {
 		if arrival <= 0 {
 			break
 		}
-		pready := work.DataReady(parent, p)
-		pslot := work.FindSlot(p, pready, in.Cost(parent, p), true)
-		work.PlaceDup(parent, p, pslot)
+		pready := tx.DataReady(parent, p)
+		pslot := tx.FindSlot(p, pready, in.Cost(parent, p), true)
+		tx.PlaceDup(parent, p, pslot)
 		dups++
-		start = work.FindSlot(p, work.DataReady(t, p), dur, true)
+		start = tx.FindSlot(p, tx.DataReady(t, p), dur, true)
 		if start < best.Start {
-			best = algo.DupResult{Plan: work.Clone(), Start: start, Finish: start + dur, Dups: dups}
+			best = algo.DupResult{Start: start, Finish: start + dur, Dups: dups}
+			bestMark = tx.Mark()
 		}
 	}
+	tx.Undo(bestMark)
 	return best
 }

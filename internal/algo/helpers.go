@@ -88,17 +88,17 @@ func (rl *ReadyList) Complete(v dag.TaskID) {
 }
 
 // CriticalParent returns the predecessor of task t whose data arrives last
-// on processor p given the current plan, provided that parent has no copy
+// on processor p given the current view, provided that parent has no copy
 // on p already (so duplicating it could help), along with its arrival
 // time. It returns (-1, 0) when t has no remote critical parent.
-func CriticalParent(pl *sched.Plan, t dag.TaskID, p int) (dag.TaskID, float64) {
-	in := pl.Instance()
+func CriticalParent(v sched.View, t dag.TaskID, p int) (dag.TaskID, float64) {
+	in := v.Instance()
 	best := dag.TaskID(-1)
 	bestArrival := 0.0
 	for _, pe := range in.G.Pred(t) {
-		arrival := arrivalOn(pl, pe.To, p, pe.Data)
+		arrival := arrivalOn(v, pe.To, p, pe.Data)
 		local := false
-		for _, c := range pl.Copies(pe.To) {
+		for _, c := range v.Copies(pe.To) {
 			if c.Proc == p {
 				local = true
 				break
@@ -113,10 +113,10 @@ func CriticalParent(pl *sched.Plan, t dag.TaskID, p int) (dag.TaskID, float64) {
 
 // arrivalOn returns the earliest time data units from any copy of task m
 // reach processor p.
-func arrivalOn(pl *sched.Plan, m dag.TaskID, p int, data float64) float64 {
-	in := pl.Instance()
+func arrivalOn(v sched.View, m dag.TaskID, p int, data float64) float64 {
+	in := v.Instance()
 	best := -1.0
-	for _, c := range pl.Copies(m) {
+	for _, c := range v.Copies(m) {
 		t := c.Finish + in.Sys.CommCost(c.Proc, p, data)
 		if best < 0 || t < best {
 			best = t
@@ -125,11 +125,10 @@ func arrivalOn(pl *sched.Plan, m dag.TaskID, p int, data float64) float64 {
 	return best
 }
 
-// DupResult reports the outcome of a duplication trial.
+// DupResult reports the outcome of a duplication trial. The accepted
+// duplicates live in the transaction the trial ran in; the caller commits
+// the winning transaction and places the task at the reported start.
 type DupResult struct {
-	// Plan is the tentative plan including any accepted duplicates; the
-	// candidate task itself is NOT yet placed.
-	Plan *sched.Plan
 	// Start and Finish are the candidate task's achievable window on the
 	// trial processor after duplication.
 	Start, Finish float64
@@ -146,32 +145,34 @@ type DupResult struct {
 // limited to direct parents (no grandparent recursion), bounded by
 // maxDups.
 //
-// The returned plan is always a clone; the caller commits it by using it
-// in place of the original and placing t at the reported start.
-func TryDuplication(pl *sched.Plan, t dag.TaskID, p int, maxDups int) DupResult {
-	in := pl.Instance()
-	work := pl.Clone()
+// The trial runs inside tx: accepted duplicates stay journaled in it,
+// rejected ones are rolled back immediately, and the base plan is never
+// touched. A trial therefore costs O(changes) — the clone-based reference
+// semantics are preserved bit for bit (proven by the differential suite).
+func TryDuplication(tx *sched.Txn, t dag.TaskID, p int, maxDups int) DupResult {
+	in := tx.Instance()
 	dur := in.Cost(t, p)
-	start := work.FindSlot(p, work.DataReady(t, p), dur, true)
+	start := tx.FindSlot(p, tx.DataReady(t, p), dur, true)
 	dups := 0
 	for dups < maxDups {
-		parent, arrival := CriticalParent(work, t, p)
+		parent, arrival := CriticalParent(tx, t, p)
 		if parent == -1 || arrival <= start-slackEps {
 			// No remote parent dominates the start time.
 			break
 		}
-		trial := work.Clone()
-		pready := trial.DataReady(parent, p)
-		pslot := trial.FindSlot(p, pready, in.Cost(parent, p), true)
-		trial.PlaceDup(parent, p, pslot)
-		newStart := trial.FindSlot(p, trial.DataReady(t, p), dur, true)
+		m := tx.Mark()
+		pready := tx.DataReady(parent, p)
+		pslot := tx.FindSlot(p, pready, in.Cost(parent, p), true)
+		tx.PlaceDup(parent, p, pslot)
+		newStart := tx.FindSlot(p, tx.DataReady(t, p), dur, true)
 		if newStart >= start-slackEps {
-			break // duplication did not strictly help
+			tx.Undo(m) // duplication did not strictly help
+			break
 		}
-		work, start = trial, newStart
+		start = newStart
 		dups++
 	}
-	return DupResult{Plan: work, Start: start, Finish: start + dur, Dups: dups}
+	return DupResult{Start: start, Finish: start + dur, Dups: dups}
 }
 
 const slackEps = 1e-9

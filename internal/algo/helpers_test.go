@@ -126,7 +126,8 @@ func TestTryDuplicationImproves(t *testing.T) {
 	in := sched.Consistent(g, platform.Homogeneous(2, 0, 1))
 	pl := sched.NewPlan(in)
 	pl.Place(a, 1, 0) // A on P1, finish 2; data reaches P0 at 12
-	res := TryDuplication(pl, c, 0, 4)
+	tx := pl.Begin()
+	res := TryDuplication(tx, c, 0, 4)
 	if res.Dups != 1 {
 		t.Fatalf("Dups = %d, want 1", res.Dups)
 	}
@@ -134,14 +135,17 @@ func TestTryDuplicationImproves(t *testing.T) {
 	if res.Start != 2 {
 		t.Fatalf("Start = %g, want 2", res.Start)
 	}
-	// Original plan untouched.
+	// Base plan untouched until commit.
 	if len(pl.Copies(a)) != 1 {
-		t.Fatal("TryDuplication mutated the input plan")
+		t.Fatal("TryDuplication mutated the base plan")
 	}
 	// Commit and validate.
-	work := res.Plan
-	work.Place(c, 0, res.Start)
-	if err := work.Finalize("x").Validate(); err != nil {
+	tx.Commit()
+	if len(pl.Copies(a)) != 2 {
+		t.Fatalf("Copies(a) after commit = %d, want 2", len(pl.Copies(a)))
+	}
+	pl.Place(c, 0, res.Start)
+	if err := pl.Finalize("x").Validate(); err != nil {
 		t.Fatalf("Validate: %v", err)
 	}
 }
@@ -162,12 +166,19 @@ func TestTryDuplicationDeclinesWhenUseless(t *testing.T) {
 	}
 	pl := sched.NewPlan(in)
 	pl.Place(a, 1, 0) // finish 1, data reaches P0 at 2
-	res := TryDuplication(pl, c, 0, 4)
+	tx := pl.Begin()
+	res := TryDuplication(tx, c, 0, 4)
 	if res.Dups != 0 {
 		t.Fatalf("Dups = %d, want 0 (duplicate costs 50)", res.Dups)
 	}
 	if res.Start != 2 {
 		t.Fatalf("Start = %g, want 2", res.Start)
+	}
+	// The rejected duplicate was rolled back inside the transaction: even
+	// committing it must leave the plan unchanged.
+	tx.Commit()
+	if len(pl.Copies(a)) != 1 || len(pl.OnProc(0)) != 0 {
+		t.Fatal("rejected duplication leaked into the plan")
 	}
 }
 

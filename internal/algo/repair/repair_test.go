@@ -145,3 +145,50 @@ func TestRepairPropertyBattery(t *testing.T) {
 		}
 	})
 }
+
+// TestRepairTransactionalSchedules pins the repair path against the
+// transactional duplication schedulers: the schedules DSH/BTDH now build
+// through speculative transactions must repair exactly like the
+// clone-based reference schedules they replaced — same repaired digest at
+// every failure point.
+func TestRepairTransactionalSchedules(t *testing.T) {
+	testfix.Battery(testfix.BatteryConfig{Trials: 10, MaxProcs: 5, MaxTasks: 40, Seed: 8150}, func(trial int, in *sched.Instance) {
+		if in.P() < 2 {
+			return
+		}
+		pairs := []struct {
+			name string
+			txn  func(in *sched.Instance) (*sched.Schedule, error)
+			ref  func(in *sched.Instance) *sched.Schedule
+		}{
+			{"DSH", dup.DSH{}.Schedule, testfix.RefDSH},
+			{"BTDH", dup.BTDH{}.Schedule, testfix.RefBTDH},
+		}
+		for _, p := range pairs {
+			got, err := p.txn(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := p.ref(in)
+			for proc := 0; proc < in.P(); proc++ {
+				for _, frac := range []float64{0, 0.5} {
+					f := Failure{Proc: proc, Time: got.Makespan() * frac}
+					rg, err := Repair(got, f)
+					if err != nil {
+						t.Fatalf("trial %d %s: %v", trial, p.name, err)
+					}
+					if err := rg.Validate(); err != nil {
+						t.Fatalf("trial %d %s: repaired schedule invalid: %v", trial, p.name, err)
+					}
+					rw, err := Repair(want, f)
+					if err != nil {
+						t.Fatalf("trial %d %s ref: %v", trial, p.name, err)
+					}
+					if g, w := testfix.ScheduleDigest(rg), testfix.ScheduleDigest(rw); g != w {
+						t.Fatalf("trial %d %s proc %d frac %g: repair of transactional schedule diverges from reference", trial, p.name, proc, frac)
+					}
+				}
+			}
+		}
+	})
+}

@@ -87,8 +87,17 @@ func (a ILS) Schedule(in *sched.Instance) (*sched.Schedule, error) {
 
 // ScheduleContext implements algo.CtxScheduler: the per-task placement
 // loop checks the context between tasks (each task costs O(P) trial
-// placements plus clones, so per-task polling is both cheap and prompt)
-// and aborts with the context's error on cancellation.
+// placements, so per-task polling is both cheap and prompt) and aborts
+// with the context's error on cancellation.
+//
+// Each of the P per-processor trials runs in its own speculative
+// transaction over the shared plan (duplication attempts and the
+// lookahead's tentative placement are journaled and undone), so a trial
+// costs O(changes) instead of a full plan clone and the trials are
+// independent — on large instances they evaluate concurrently. The winner
+// is still selected sequentially in ascending processor order with the
+// exact comparison of the clone-based implementation, so schedules are
+// unchanged.
 func (a ILS) ScheduleContext(ctx context.Context, in *sched.Instance) (*sched.Schedule, error) {
 	maxDups := a.opts.MaxDups
 	if maxDups <= 0 {
@@ -126,57 +135,78 @@ func (a ILS) ScheduleContext(ctx context.Context, in *sched.Instance) (*sched.Sc
 
 	pl := sched.NewPlan(in)
 	check := algo.NewCheckpoint(ctx, 1)
+	group := algo.NewTrialGroup(in.P(), in.N())
+	defer group.Close()
+	type trial struct{ start, finish, score float64 }
+	txs := make([]*sched.Txn, in.P())
+	results := make([]trial, in.P())
 	for _, t := range order {
 		if err := check.Check(); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.name, err)
 		}
-		bestScore := math.Inf(1)
-		bestFinish := math.Inf(1)
-		bestProc := -1
-		bestStart := 0.0
-		var bestPlan *sched.Plan
-		for p := 0; p < in.P(); p++ {
-			cand := pl
+		look := a.opts.Lookahead && critChild[t] != -1
+		group.Run(in.P(), func(p int) {
+			var tx *sched.Txn
 			var start, finish float64
+			if a.opts.Duplication || look {
+				if tx = txs[p]; tx == nil {
+					tx = pl.Begin()
+					txs[p] = tx
+				} else {
+					tx.Reset()
+				}
+			}
 			if a.opts.Duplication {
-				res := algo.TryDuplication(pl, t, p, maxDups)
-				cand, start, finish = res.Plan, res.Start, res.Finish
+				res := algo.TryDuplication(tx, t, p, maxDups)
+				start, finish = res.Start, res.Finish
 			} else {
 				start, finish = pl.EFTOn(t, p, true)
 			}
 			score := finish
-			if a.opts.Lookahead && critChild[t] != -1 {
+			if look {
 				// Tentatively place t and estimate the critical child's
-				// achievable EFT.
-				work := cand.Clone()
-				work.Place(t, p, start)
-				score = estimateChildEFT(work, critChild[t], estFinish)
+				// achievable EFT, then rewind: the tentative placement only
+				// informs the score, never the plan.
+				m := tx.Mark()
+				tx.Place(t, p, start)
+				score = estimateChildEFT(tx, critChild[t], estFinish)
+				tx.Undo(m)
 			}
-			if score < bestScore-1e-12 || (math.Abs(score-bestScore) <= 1e-12 && finish < bestFinish) {
-				bestScore, bestFinish, bestProc, bestStart, bestPlan = score, finish, p, start, cand
+			results[p] = trial{start: start, finish: finish, score: score}
+		})
+		bestScore := math.Inf(1)
+		bestFinish := math.Inf(1)
+		bestProc := -1
+		bestStart := 0.0
+		for p := 0; p < in.P(); p++ {
+			r := results[p]
+			if r.score < bestScore-1e-12 || (math.Abs(r.score-bestScore) <= 1e-12 && r.finish < bestFinish) {
+				bestScore, bestFinish, bestProc, bestStart = r.score, r.finish, p, r.start
 			}
 		}
-		pl = bestPlan
+		if a.opts.Duplication {
+			txs[bestProc].Commit()
+		}
 		pl.Place(t, bestProc, bestStart)
 	}
 	return pl.Finalize(a.name), nil
 }
 
 // estimateChildEFT returns the smallest estimated finish time of task c
-// over all processors given the current (tentative) plan. Scheduled
-// parents contribute their real data-arrival times; unscheduled parents
-// contribute a mean-cost estimate (downward rank + mean execution + mean
-// communication).
-func estimateChildEFT(pl *sched.Plan, c dag.TaskID, estFinish []float64) float64 {
-	in := pl.Instance()
+// over all processors given the current (possibly speculative) view.
+// Scheduled parents contribute their real data-arrival times; unscheduled
+// parents contribute a mean-cost estimate (downward rank + mean execution
+// + mean communication).
+func estimateChildEFT(v sched.View, c dag.TaskID, estFinish []float64) float64 {
+	in := v.Instance()
 	best := math.Inf(1)
 	for q := 0; q < in.P(); q++ {
 		ready := 0.0
 		for j, pe := range in.G.Pred(c) {
 			var arrival float64
-			if pl.Scheduled(pe.To) {
+			if v.Scheduled(pe.To) {
 				arrival = math.Inf(1)
-				for _, cp := range pl.Copies(pe.To) {
+				for _, cp := range v.Copies(pe.To) {
 					if t := cp.Finish + in.Sys.CommCost(cp.Proc, q, pe.Data); t < arrival {
 						arrival = t
 					}
@@ -188,7 +218,7 @@ func estimateChildEFT(pl *sched.Plan, c dag.TaskID, estFinish []float64) float64
 				ready = arrival
 			}
 		}
-		start := pl.FindSlot(q, ready, in.Cost(c, q), true)
+		start := v.FindSlot(q, ready, in.Cost(c, q), true)
 		if f := start + in.Cost(c, q); f < best {
 			best = f
 		}

@@ -31,6 +31,14 @@ type Plan struct {
 	// the linear reference scan) if a placement ever straddles occupied
 	// intervals; correctness never depends on it.
 	gaps []*timeline.GapIndex
+	// epoch counts mutations; Txn.Commit refuses to apply a transaction
+	// begun against an older epoch (see txn.go).
+	epoch uint64
+	// procEpoch[p] counts mutations of processor p's timeline (inserts,
+	// blocks and committed transactions). Txn.Reset uses it to tell which
+	// gap-index snapshots are still exact and can be reused without
+	// re-copying treap nodes.
+	procEpoch []uint64
 }
 
 // NewPlan returns an empty plan for the instance.
@@ -41,6 +49,7 @@ func NewPlan(in *Instance) *Plan {
 		byTask:      make([][]Assignment, in.N()),
 		blockedFrom: make([]float64, in.P()),
 		gaps:        make([]*timeline.GapIndex, in.P()),
+		procEpoch:   make([]uint64, in.P()),
 	}
 	for p := range pl.blockedFrom {
 		pl.blockedFrom[p] = math.Inf(1)
@@ -58,6 +67,8 @@ func NewPlan(in *Instance) *Plan {
 func (pl *Plan) BlockProc(p int, from float64) {
 	if from < pl.blockedFrom[p] {
 		pl.blockedFrom[p] = from
+		pl.epoch++
+		pl.procEpoch[p]++
 	}
 }
 
@@ -213,6 +224,8 @@ func (pl *Plan) PlaceDup(i dag.TaskID, p int, start float64) Assignment {
 }
 
 func (pl *Plan) insert(a Assignment) {
+	pl.epoch++
+	pl.procEpoch[a.Proc]++
 	t := pl.procs[a.Proc]
 	k := sort.Search(len(t), func(i int) bool { return t[i].Start > a.Start })
 	t = append(t, Assignment{})
@@ -249,6 +262,7 @@ func (pl *Plan) Clone() *Plan {
 		placed:      pl.placed,
 		blockedFrom: append([]float64(nil), pl.blockedFrom...),
 		gaps:        make([]*timeline.GapIndex, len(pl.gaps)),
+		procEpoch:   make([]uint64, len(pl.gaps)),
 	}
 	for p := range pl.procs {
 		cp.procs[p] = append([]Assignment(nil), pl.procs[p]...)

@@ -1,0 +1,159 @@
+package timeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gapsEqual(a, b []Gap) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOccupyLoggedRevertExact drives random occupy bursts and asserts
+// that reverting them in LIFO order restores the exact gap set and
+// priority counter — the invariant sched.Txn.Undo depends on.
+func TestOccupyLoggedRevertExact(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		gi := New(eps)
+		// A committed baseline of real assignments.
+		for i := 0; i < 20; i++ {
+			ready := rng.Float64() * 40
+			dur := rng.Float64() * 3
+			s, _ := gi.EarliestFit(ready, dur)
+			gi.Occupy(s, s+dur)
+		}
+		for burst := 0; burst < 50; burst++ {
+			before := gi.Gaps()
+			ctrBefore := gi.ctr
+			var logs []OccupyLog
+			for k := rng.Intn(4) + 1; k > 0; k-- {
+				ready := rng.Float64() * 60
+				dur := rng.Float64() * 4
+				s, ok := gi.EarliestFit(ready, dur)
+				if !ok {
+					t.Fatal("index degraded unexpectedly")
+				}
+				logs = append(logs, gi.OccupyLogged(s, s+dur))
+			}
+			for i := len(logs) - 1; i >= 0; i-- {
+				gi.Revert(logs[i])
+			}
+			if !gapsEqual(gi.Gaps(), before) {
+				t.Fatalf("seed %d burst %d: gap set not restored\n got %v\nwant %v", seed, burst, gi.Gaps(), before)
+			}
+			if gi.ctr != ctrBefore {
+				t.Fatalf("seed %d burst %d: priority counter %d, want %d", seed, burst, gi.ctr, ctrBefore)
+			}
+		}
+	}
+}
+
+// TestSnapshotIsolation asserts the O(1) snapshot contract: while the
+// parent is frozen, a snapshot can be occupied and reverted arbitrarily
+// without the parent's answers changing, and an undisturbed sibling
+// snapshot still sees the parent's state.
+func TestSnapshotIsolation(t *testing.T) {
+	gi := New(eps)
+	gi.Occupy(2, 4)
+	gi.Occupy(10, 12)
+	parentGaps := gi.Gaps()
+
+	snapA := gi.Snapshot()
+	snapB := gi.Snapshot()
+
+	// Mutate snapA heavily: fill the first gap, split the middle one.
+	snapA.Occupy(0, 2)
+	l := snapA.OccupyLogged(5, 7)
+	snapA.Occupy(12, 20)
+	snapA.Revert(l)
+
+	if !gapsEqual(gi.Gaps(), parentGaps) {
+		t.Fatalf("parent gaps changed under snapshot mutation:\n got %v\nwant %v", gi.Gaps(), parentGaps)
+	}
+	if !gapsEqual(snapB.Gaps(), parentGaps) {
+		t.Fatalf("sibling snapshot polluted:\n got %v\nwant %v", snapB.Gaps(), parentGaps)
+	}
+	// snapA's own view reflects exactly its surviving occupies.
+	s, ok := snapA.EarliestFit(0, 1)
+	if !ok || s != 4 {
+		t.Fatalf("snapA EarliestFit(0,1) = %v,%v want 4,true", s, ok)
+	}
+	// The parent still answers from its own intact state.
+	s, ok = gi.EarliestFit(0, 1)
+	if !ok || s != 0 {
+		t.Fatalf("parent EarliestFit(0,1) = %v,%v want 0,true", s, ok)
+	}
+}
+
+// TestSnapshotOfSnapshot asserts chained snapshots (txn of a committed
+// txn state) keep the same isolation guarantee.
+func TestSnapshotOfSnapshot(t *testing.T) {
+	gi := New(eps)
+	gi.Occupy(0, 5)
+	s1 := gi.Snapshot()
+	s1.Occupy(5, 8)
+	base := s1.Gaps()
+	s2 := s1.Snapshot()
+	s2.Occupy(8, 30)
+	if !gapsEqual(s1.Gaps(), base) {
+		t.Fatalf("first snapshot mutated by second: %v want %v", s1.Gaps(), base)
+	}
+	if got, _ := s2.EarliestFit(0, 1); got != 30 {
+		t.Fatalf("second snapshot EarliestFit = %v, want 30", got)
+	}
+}
+
+// TestRevertOnDegradedIndex asserts degradation is sticky: a revert never
+// resurrects a degraded index, and reverting a record that itself caused
+// degradation is a no-op.
+func TestRevertOnDegradedIndex(t *testing.T) {
+	gi := New(eps)
+	gi.Occupy(10, 20)
+	// Straddle the assignment: degrades.
+	l := gi.OccupyLogged(15, 25)
+	if !l.Degraded || gi.OK() {
+		t.Fatal("straddling OccupyLogged must degrade the index")
+	}
+	gi.Revert(l)
+	if gi.OK() {
+		t.Fatal("revert must not resurrect a degraded index")
+	}
+	if _, ok := gi.EarliestFit(0, 1); ok {
+		t.Fatal("degraded index must keep refusing queries after revert")
+	}
+	// A log captured before degradation also reverts to nothing once the
+	// index is down.
+	gi2 := New(eps)
+	good := gi2.OccupyLogged(0, 1)
+	gi2.Occupy(5, 6)
+	gi2.OccupyLogged(5.5, 10) // degrade
+	gi2.Revert(good)
+	if gi2.OK() {
+		t.Fatal("degradation must be permanent")
+	}
+}
+
+// TestSnapshotInheritsDegradation asserts a snapshot of a degraded index
+// is itself degraded and harmless.
+func TestSnapshotInheritsDegradation(t *testing.T) {
+	gi := New(eps)
+	gi.Occupy(10, 20)
+	gi.Occupy(15, 25) // degrade
+	sn := gi.Snapshot()
+	if sn.OK() {
+		t.Fatal("snapshot of degraded index reports OK")
+	}
+	if _, ok := sn.EarliestFit(0, math.SmallestNonzeroFloat64); ok {
+		t.Fatal("degraded snapshot answered a query")
+	}
+}

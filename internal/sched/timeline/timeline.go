@@ -25,12 +25,15 @@ package timeline
 import "math"
 
 // node is one idle gap, a treap node keyed by (start, end) and augmented
-// with the maximum gap length in its subtree.
+// with the maximum gap length in its subtree. gen implements structural
+// sharing: a node may be mutated in place only by the index whose
+// generation matches; anyone else copies it first (see GapIndex.mut).
 type node struct {
 	start, end  float64
 	prio        uint64
 	left, right *node
 	maxLen      float64
+	gen         uint32
 }
 
 func (n *node) recompute() {
@@ -51,11 +54,26 @@ func keyLess(s1, e1, s2, e2 float64) bool {
 }
 
 // GapIndex indexes the idle gaps of one processor's timeline.
+//
+// Indexes support O(1) copy-on-write snapshots (Snapshot): every node
+// carries the generation of the index that created it, and an index whose
+// generation is newer copies a node before touching it. The invariant is
+// that all nodes reachable from an index's root have generation <= the
+// index's own, with equality exactly for the nodes it may mutate in
+// place; Snapshot returns a new index at generation+1, so it owns nothing
+// and copies each path it first writes to, while the parent keeps
+// mutating its own nodes in place at the old cost.
 type GapIndex struct {
 	root *node
 	ctr  uint64 // deterministic priority stream
 	eps  float64
 	ok   bool
+	gen  uint32
+	// free chains recycled nodes (linked through left). Only nodes this
+	// index owns (gen match) are recycled, so handing one out again is
+	// exactly as safe as the in-place mutation mut already performs on
+	// them; see recycle. Snapshots and clones start with an empty list.
+	free *node
 }
 
 // New returns an index over an empty timeline: one gap [0, +Inf). eps is
@@ -145,67 +163,149 @@ func firstFit(n *node, ready, dur, eps float64) *node {
 // degrades the index permanently — when the interval does not lie within
 // a single idle gap.
 func (gi *GapIndex) Occupy(start, finish float64) bool {
+	l := gi.OccupyLogged(start, finish)
+	return l.WasOK && !l.Degraded
+}
+
+// OccupyLog records everything needed to reverse one OccupyLogged call:
+// the idle gap that was split, the occupied interval, and the priority
+// counter before the call. It is a plain value so journaling allocates
+// nothing.
+type OccupyLog struct {
+	// GapStart, GapEnd bound the idle gap the occupy split (meaningful
+	// only when WasOK and not Degraded).
+	GapStart, GapEnd float64
+	// Start, Finish are the occupied interval.
+	Start, Finish float64
+	// Ctr is the deterministic priority counter before the occupy;
+	// Revert restores it so the priority stream is independent of how
+	// many speculative occupies were rolled back.
+	Ctr uint64
+	// WasOK reports whether the index was intact before the occupy.
+	WasOK bool
+	// Degraded reports whether this occupy itself degraded the index.
+	Degraded bool
+}
+
+// OccupyLogged is Occupy returning a journal record that Revert can undo
+// exactly: after Revert the index holds the identical gap set and priority
+// counter it had before the call (tree shape may differ; queries never
+// depend on it). Records must be reverted in LIFO order.
+func (gi *GapIndex) OccupyLogged(start, finish float64) OccupyLog {
+	l := OccupyLog{Start: start, Finish: finish, Ctr: gi.ctr, WasOK: gi.ok}
 	if !gi.ok {
-		return false
+		return l
 	}
 	g := pred(gi.root, start)
 	if g == nil || finish > g.end+gi.eps {
 		gi.ok = false
 		gi.root = nil
-		return false
+		l.Degraded = true
+		return l
 	}
 	gs, ge := g.start, g.end
-	gi.root = del(gi.root, gs, ge)
+	l.GapStart, l.GapEnd = gs, ge
+	gi.root = gi.del(gi.root, gs, ge)
 	gi.root = gi.insertGap(gi.root, gs, start)
 	gi.root = gi.insertGap(gi.root, finish, ge)
-	return true
+	return l
+}
+
+// Revert undoes the most recent un-reverted OccupyLogged call: the two
+// remainder gaps are deleted, the original gap reinstated, and the
+// priority counter restored. A record whose occupy found (or left) the
+// index degraded reverts to nothing — degradation is permanent by design
+// and schedule correctness never depends on the index.
+func (gi *GapIndex) Revert(l OccupyLog) {
+	if !gi.ok || !l.WasOK || l.Degraded {
+		return
+	}
+	gi.root = gi.del(gi.root, l.GapStart, l.Start)
+	gi.root = gi.del(gi.root, l.Finish, l.GapEnd)
+	gi.root = gi.insertGap(gi.root, l.GapStart, l.GapEnd)
+	gi.ctr = l.Ctr
+}
+
+// mut returns a node this index may mutate in place: n itself when the
+// index created it, a same-generation copy otherwise. On an index that
+// never snapshotted this is a branch-predicted no-op, so the unshared
+// fast path allocates exactly as much as a plain mutable treap.
+func (gi *GapIndex) mut(n *node) *node {
+	if n.gen == gi.gen {
+		return n
+	}
+	c := *n
+	c.gen = gi.gen
+	return &c
 }
 
 func (gi *GapIndex) insertGap(root *node, s, e float64) *node {
-	x := &node{start: s, end: e, prio: gi.nextPrio()}
-	return ins(root, x)
+	x := gi.free
+	if x != nil {
+		gi.free = x.left
+		*x = node{start: s, end: e, prio: gi.nextPrio(), gen: gi.gen}
+	} else {
+		x = &node{start: s, end: e, prio: gi.nextPrio(), gen: gi.gen}
+	}
+	return gi.ins(root, x)
 }
 
-func ins(n, x *node) *node {
+// recycle returns an unlinked node to the free list. Only nodes the index
+// owns are eligible: a shared node (older generation) may still be read
+// through a snapshot's root, while an owned node that was just unlinked is
+// unreachable from every snapshot that is still valid under the
+// freeze-while-speculating contract (the same contract that lets mut
+// rewrite owned nodes in place).
+func (gi *GapIndex) recycle(n *node) {
+	if n.gen == gi.gen {
+		n.left = gi.free
+		n.right = nil
+		gi.free = n
+	}
+}
+
+func (gi *GapIndex) ins(n, x *node) *node {
 	if n == nil {
 		x.recompute()
 		return x
 	}
 	if x.prio > n.prio {
-		x.left, x.right = split(n, x.start, x.end)
+		x.left, x.right = gi.split(n, x.start, x.end)
 		x.recompute()
 		return x
 	}
+	n = gi.mut(n)
 	if keyLess(x.start, x.end, n.start, n.end) {
-		n.left = ins(n.left, x)
+		n.left = gi.ins(n.left, x)
 	} else {
-		n.right = ins(n.right, x)
+		n.right = gi.ins(n.right, x)
 	}
 	n.recompute()
 	return n
 }
 
 // split partitions the subtree into keys < (s, e) and keys >= (s, e).
-func split(n *node, s, e float64) (l, r *node) {
+func (gi *GapIndex) split(n *node, s, e float64) (l, r *node) {
 	if n == nil {
 		return nil, nil
 	}
+	n = gi.mut(n)
 	if keyLess(n.start, n.end, s, e) {
 		var mid *node
-		mid, r = split(n.right, s, e)
+		mid, r = gi.split(n.right, s, e)
 		n.right = mid
 		n.recompute()
 		return n, r
 	}
 	var mid *node
-	l, mid = split(n.left, s, e)
+	l, mid = gi.split(n.left, s, e)
 	n.left = mid
 	n.recompute()
 	return l, n
 }
 
 // merge joins two subtrees where every key in l precedes every key in r.
-func merge(l, r *node) *node {
+func (gi *GapIndex) merge(l, r *node) *node {
 	if l == nil {
 		return r
 	}
@@ -213,47 +313,66 @@ func merge(l, r *node) *node {
 		return l
 	}
 	if l.prio > r.prio {
-		l.right = merge(l.right, r)
+		l = gi.mut(l)
+		l.right = gi.merge(l.right, r)
 		l.recompute()
 		return l
 	}
-	r.left = merge(l, r.left)
+	r = gi.mut(r)
+	r.left = gi.merge(l, r.left)
 	r.recompute()
 	return r
 }
 
 // del removes the gap with the exact key (s, e); the gap is known to
 // exist because Occupy found it by predecessor search.
-func del(n *node, s, e float64) *node {
+func (gi *GapIndex) del(n *node, s, e float64) *node {
 	if n == nil {
 		return nil
 	}
 	if s == n.start && e == n.end {
-		return merge(n.left, n.right)
+		m := gi.merge(n.left, n.right)
+		gi.recycle(n)
+		return m
 	}
+	n = gi.mut(n)
 	if keyLess(s, e, n.start, n.end) {
-		n.left = del(n.left, s, e)
+		n.left = gi.del(n.left, s, e)
 	} else {
-		n.right = del(n.right, s, e)
+		n.right = gi.del(n.right, s, e)
 	}
 	n.recompute()
 	return n
 }
 
-// Clone returns an independent deep copy of the index.
+// Snapshot returns an O(1) copy-on-write snapshot: the snapshot shares
+// the parent's tree and copies each path it first writes to, so mutating
+// the snapshot never disturbs the parent. The reverse does not hold — the
+// parent keeps mutating its own nodes in place — so a snapshot answers
+// correctly only until the parent's next mutation. That is exactly the
+// speculative-transaction contract (sched.Txn): the base plan is frozen
+// while transactions are open, and every snapshot taken from it is dead
+// by the time the winning transaction commits and the base moves on.
+func (gi *GapIndex) Snapshot() *GapIndex {
+	return &GapIndex{root: gi.root, ctr: gi.ctr, eps: gi.eps, ok: gi.ok, gen: gi.gen + 1}
+}
+
+// Clone returns an independent deep copy of the index; unlike Snapshot it
+// stays valid under arbitrary interleaved mutation of both copies.
 func (gi *GapIndex) Clone() *GapIndex {
-	cp := &GapIndex{ctr: gi.ctr, eps: gi.eps, ok: gi.ok}
-	cp.root = cloneNode(gi.root)
+	cp := &GapIndex{ctr: gi.ctr, eps: gi.eps, ok: gi.ok, gen: gi.gen}
+	cp.root = cloneNode(gi.root, gi.gen)
 	return cp
 }
 
-func cloneNode(n *node) *node {
+func cloneNode(n *node, gen uint32) *node {
 	if n == nil {
 		return nil
 	}
 	c := *n
-	c.left = cloneNode(n.left)
-	c.right = cloneNode(n.right)
+	c.gen = gen
+	c.left = cloneNode(n.left, gen)
+	c.right = cloneNode(n.right, gen)
 	return &c
 }
 

@@ -1,0 +1,424 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/sched/timeline"
+)
+
+// View is the query surface shared by Plan and Txn, so duplication-trial
+// machinery (critical-parent search, data-ready times, slot queries, child
+// EFT estimation) runs unchanged against either the committed plan or a
+// speculative transaction.
+type View interface {
+	Instance() *Instance
+	Scheduled(i dag.TaskID) bool
+	Copies(i dag.TaskID) []Assignment
+	OnProc(p int) []Assignment
+	DataReady(i dag.TaskID, p int) float64
+	FindSlot(p int, ready, dur float64, insertion bool) float64
+	EFTOn(i dag.TaskID, p int, insertion bool) (start, finish float64)
+}
+
+var (
+	_ View = (*Plan)(nil)
+	_ View = (*Txn)(nil)
+)
+
+// Txn is a speculative view of a Plan: placements recorded through it are
+// visible to its own queries but never touch the base plan until Commit.
+// It replaces the clone-per-trial pattern of the duplication heuristics —
+// a trial costs O(changes · log n), not O(plan size):
+//
+//   - reads pass through to the base plan until the first write;
+//   - speculative assignments live in a small per-processor overlay and
+//     slot queries run against an O(1) copy-on-write snapshot of the
+//     processor's gap index, so even the first write to a processor never
+//     pays for the length of its committed timeline;
+//   - every Place/PlaceDup appends a journal entry capturing exactly what
+//     changed (overlay slot, task-copy overlay, gap-index occupy log), so
+//     Undo restores any earlier Mark precisely — the gap set, priority
+//     counter and overlay contents equal the pre-op state;
+//   - a Txn never mutates shared state, so several transactions begun from
+//     the same base evaluate concurrently without synchronization as long
+//     as the base itself is left alone until they finish. At most one of
+//     them may then Commit: Commit panics if the base changed since Begin.
+//
+// Misuse (placing a task twice, committing a stale transaction) panics,
+// matching Plan's contract: these are programming errors in an algorithm.
+type Txn struct {
+	base  *Plan
+	epoch uint64
+
+	// Speculative state. ins/gaps stay nil until the first write;
+	// gaps[p] != nil marks processor p as touched, ins[p] holds its
+	// speculative assignments sorted by start, touched lists the touched
+	// processors in first-touch order. tasks holds the overlaid byTask
+	// entries of the few tasks this transaction gave new copies.
+	ins     [][]Assignment
+	gaps    []*timeline.GapIndex
+	touched []int
+	tasks   []taskOverlay
+	log     []txnOp
+	placed  int // primary copies placed in this transaction
+	// srcEpoch[p] is the base's procEpoch when gaps[p] was snapshotted.
+	// While they still match at Reset time, the rewound snapshot holds
+	// exactly the base's gap set and is reused, so repeated trials on the
+	// same processor mutate privately-owned treap nodes in place instead
+	// of re-copying paths out of the base index every round.
+	srcEpoch []uint64
+}
+
+// taskOverlay is the transaction's view of one task's copies.
+type taskOverlay struct {
+	task   dag.TaskID
+	copies []Assignment
+}
+
+// txnOp journals one placement so Undo can reverse it. Ops are undone in
+// LIFO order, which keeps every recorded index valid at undo time.
+type txnOp struct {
+	task    dag.TaskID
+	proc    int
+	dup     bool
+	slot    int  // insertion index into ins[proc]
+	newTask bool // this op created the task's overlay entry
+	occ     timeline.OccupyLog
+}
+
+// Mark is a journal position; Undo(m) rewinds the transaction to it.
+type Mark int
+
+// Begin opens a transaction over the plan. Begin itself copies nothing;
+// cost is one small allocation (drivers evaluating one transaction per
+// processor every round should Reset and reuse them instead).
+func (pl *Plan) Begin() *Txn {
+	return &Txn{base: pl, epoch: pl.epoch}
+}
+
+// Reset rewinds the transaction to a freshly-begun state against the
+// base plan's current epoch, retaining the internal buffers. It is the
+// allocation-free way to reuse one transaction per processor across the
+// rounds of a scheduling loop.
+//
+// Reset rewinds the journal rather than discarding it: Undo restores
+// every touched gap-index snapshot to exactly the gap set it was
+// snapshotted with, so a snapshot of a processor the base hasn't mutated
+// since (procEpoch unchanged) answers identically to a fresh one and is
+// kept. That makes the steady state of a trial loop allocation-free in
+// the treap too — the reused snapshot mutates its privately-owned nodes
+// in place instead of re-copying paths out of the base index each round.
+func (tx *Txn) Reset() {
+	tx.Undo(0)
+	kept := tx.touched[:0]
+	for _, p := range tx.touched {
+		if tx.gaps[p].OK() && tx.srcEpoch[p] == tx.base.procEpoch[p] {
+			kept = append(kept, p)
+		} else {
+			// The base timeline moved on (or the snapshot degraded):
+			// drop it; the next write re-snapshots in O(1).
+			tx.gaps[p] = nil
+		}
+	}
+	tx.touched = kept
+	tx.epoch = tx.base.epoch
+}
+
+// Instance returns the problem being scheduled.
+func (tx *Txn) Instance() *Instance { return tx.base.in }
+
+// isTouched reports whether processor p has speculative state.
+func (tx *Txn) isTouched(p int) bool { return tx.gaps != nil && tx.gaps[p] != nil }
+
+// OnProc returns the assignments on processor p sorted by start, including
+// speculative ones. The slice must not be modified. For a touched
+// processor this merges the overlay on demand — it is the slow path of the
+// View interface, kept off the trial hot loops (slot queries go through
+// the gap-index snapshot instead).
+func (tx *Txn) OnProc(p int) []Assignment {
+	if !tx.isTouched(p) || len(tx.ins[p]) == 0 {
+		return tx.base.procs[p]
+	}
+	base, ins := tx.base.procs[p], tx.ins[p]
+	merged := make([]Assignment, 0, len(base)+len(ins))
+	i, j := 0, 0
+	for i < len(base) && j < len(ins) {
+		// Base entries first on equal starts: reproduces the order of
+		// sequential Plan.insert calls (which place after equal starts).
+		if base[i].Start <= ins[j].Start {
+			merged = append(merged, base[i])
+			i++
+		} else {
+			merged = append(merged, ins[j])
+			j++
+		}
+	}
+	merged = append(merged, base[i:]...)
+	return append(merged, ins[j:]...)
+}
+
+func (tx *Txn) gapIndex(p int) *timeline.GapIndex {
+	if tx.isTouched(p) {
+		return tx.gaps[p]
+	}
+	return tx.base.gaps[p]
+}
+
+// Copies returns all copies of task i (primary first), including
+// speculative ones. The slice must not be modified.
+func (tx *Txn) Copies(i dag.TaskID) []Assignment {
+	// A transaction touches at most a handful of tasks (the duplicated
+	// parents plus possibly the trial task), so a linear scan beats a map.
+	for k := len(tx.tasks) - 1; k >= 0; k-- {
+		if tx.tasks[k].task == i {
+			return tx.tasks[k].copies
+		}
+	}
+	return tx.base.byTask[i]
+}
+
+// Scheduled reports whether task i has any copy (the base primary or a
+// speculative one).
+func (tx *Txn) Scheduled(i dag.TaskID) bool { return len(tx.Copies(i)) > 0 }
+
+// Blocked returns the time from which processor p is unavailable.
+func (tx *Txn) Blocked(p int) float64 { return tx.base.blockedFrom[p] }
+
+// DataReady mirrors Plan.DataReady over the transactional view: the
+// earliest time all input data of task i is available on processor p,
+// taking the best copy — committed or speculative — of every predecessor.
+func (tx *Txn) DataReady(i dag.TaskID, p int) float64 {
+	in := tx.base.in
+	ready := 0.0
+	for _, pe := range in.G.Pred(i) {
+		copies := tx.Copies(pe.To)
+		if len(copies) == 0 {
+			panic(fmt.Sprintf("sched: task %d scheduled before predecessor %d", i, pe.To))
+		}
+		arrival := math.Inf(1)
+		for _, c := range copies {
+			if t := c.Finish + in.Sys.CommCost(c.Proc, p, pe.Data); t < arrival {
+				arrival = t
+			}
+		}
+		if arrival > ready {
+			ready = arrival
+		}
+	}
+	return ready
+}
+
+// procReady returns the finish time of the last assignment on p (by start
+// order), matching Plan.ProcReady over the merged view without merging.
+func (tx *Txn) procReady(p int) float64 {
+	base := tx.base.procs[p]
+	if tx.isTouched(p) {
+		if ins := tx.ins[p]; len(ins) > 0 {
+			if len(base) == 0 || ins[len(ins)-1].Start >= base[len(base)-1].Start {
+				return ins[len(ins)-1].Finish
+			}
+		}
+	}
+	if len(base) == 0 {
+		return 0
+	}
+	return base[len(base)-1].Finish
+}
+
+// FindSlot mirrors Plan.FindSlot over the transactional view.
+func (tx *Txn) FindSlot(p int, ready, dur float64, insertion bool) float64 {
+	start := tx.findSlotUnbounded(p, ready, dur, insertion)
+	if start+dur > tx.base.blockedFrom[p]+slotEps {
+		return math.Inf(1)
+	}
+	return start
+}
+
+func (tx *Txn) findSlotUnbounded(p int, ready, dur float64, insertion bool) float64 {
+	if !insertion {
+		return math.Max(ready, tx.procReady(p))
+	}
+	if start, ok := tx.gapIndex(p).EarliestFit(ready, dur); ok {
+		return start
+	}
+	prevFinish := 0.0
+	for _, a := range tx.OnProc(p) {
+		start := math.Max(ready, prevFinish)
+		if start+dur <= a.Start+slotEps {
+			return start
+		}
+		if a.Finish > prevFinish {
+			prevFinish = a.Finish
+		}
+	}
+	return math.Max(ready, prevFinish)
+}
+
+// EFTOn mirrors Plan.EFTOn over the transactional view.
+func (tx *Txn) EFTOn(i dag.TaskID, p int, insertion bool) (start, finish float64) {
+	ready := tx.DataReady(i, p)
+	dur := tx.base.in.Cost(i, p)
+	start = tx.FindSlot(p, ready, dur, insertion)
+	return start, start + dur
+}
+
+// Place speculatively assigns the primary copy of task i to processor p.
+func (tx *Txn) Place(i dag.TaskID, p int, start float64) Assignment {
+	if tx.Scheduled(i) {
+		panic(fmt.Sprintf("sched: task %d placed twice", i))
+	}
+	a := Assignment{Task: i, Proc: p, Start: start, Finish: start + tx.base.in.Cost(i, p)}
+	tx.insert(a)
+	tx.placed++
+	return a
+}
+
+// PlaceDup speculatively adds a duplicate copy of task i on processor p.
+func (tx *Txn) PlaceDup(i dag.TaskID, p int, start float64) Assignment {
+	if !tx.Scheduled(i) {
+		panic(fmt.Sprintf("sched: duplicating unscheduled task %d", i))
+	}
+	a := Assignment{Task: i, Proc: p, Start: start, Finish: start + tx.base.in.Cost(i, p), Dup: true}
+	tx.insert(a)
+	return a
+}
+
+func (tx *Txn) insert(a Assignment) {
+	p := a.Proc
+	tx.touchProc(p)
+	ins := tx.ins[p]
+	k := sort.Search(len(ins), func(i int) bool { return ins[i].Start > a.Start })
+	ins = append(ins, Assignment{})
+	copy(ins[k+1:], ins[k:])
+	ins[k] = a
+	tx.ins[p] = ins
+	occ := tx.gaps[p].OccupyLogged(a.Start, a.Finish)
+
+	idx, isNew := tx.touchTask(a.Task)
+	ov := &tx.tasks[idx]
+	if a.Dup {
+		ov.copies = append(ov.copies, a)
+	} else {
+		ov.copies = append([]Assignment{a}, ov.copies...)
+	}
+	tx.log = append(tx.log, txnOp{task: a.Task, proc: p, dup: a.Dup, slot: k, newTask: isNew, occ: occ})
+}
+
+// touchProc takes an O(1) copy-on-write snapshot of processor p's gap
+// index on first write (the snapshot stays valid because the base plan is
+// frozen while the transaction is live).
+func (tx *Txn) touchProc(p int) {
+	if tx.gaps == nil {
+		tx.ins = make([][]Assignment, len(tx.base.procs))
+		tx.gaps = make([]*timeline.GapIndex, len(tx.base.gaps))
+		tx.srcEpoch = make([]uint64, len(tx.base.gaps))
+	}
+	if tx.gaps[p] == nil {
+		tx.gaps[p] = tx.base.gaps[p].Snapshot()
+		tx.srcEpoch[p] = tx.base.procEpoch[p]
+		tx.touched = append(tx.touched, p)
+	}
+}
+
+// touchTask copies task i's copy list on first write, returning the
+// overlay index and whether it was created by this call.
+func (tx *Txn) touchTask(i dag.TaskID) (int, bool) {
+	for k := range tx.tasks {
+		if tx.tasks[k].task == i {
+			return k, false
+		}
+	}
+	base := tx.base.byTask[i]
+	cp := make([]Assignment, len(base), len(base)+1)
+	copy(cp, base)
+	tx.tasks = append(tx.tasks, taskOverlay{task: i, copies: cp})
+	return len(tx.tasks) - 1, true
+}
+
+// Mark returns the current journal position.
+func (tx *Txn) Mark() Mark { return Mark(len(tx.log)) }
+
+// Undo rewinds the transaction to an earlier Mark, reversing every
+// placement journaled after it in LIFO order. Overlays, task copies and
+// gap-index state are restored exactly (see timeline.Revert for the one
+// documented exception: an occupy that degraded an index stays degraded,
+// which affects query cost, never answers).
+func (tx *Txn) Undo(m Mark) {
+	for len(tx.log) > int(m) {
+		op := tx.log[len(tx.log)-1]
+		tx.log = tx.log[:len(tx.log)-1]
+
+		ins := tx.ins[op.proc]
+		copy(ins[op.slot:], ins[op.slot+1:])
+		tx.ins[op.proc] = ins[:len(ins)-1]
+		tx.gaps[op.proc].Revert(op.occ)
+
+		idx := -1
+		for k := len(tx.tasks) - 1; k >= 0; k-- {
+			if tx.tasks[k].task == op.task {
+				idx = k
+				break
+			}
+		}
+		ov := &tx.tasks[idx]
+		if op.dup {
+			ov.copies = ov.copies[:len(ov.copies)-1]
+		} else {
+			ov.copies = ov.copies[1:]
+			tx.placed--
+		}
+		if op.newTask {
+			// LIFO undo: the entry this op created is still the last one.
+			tx.tasks = tx.tasks[:len(tx.tasks)-1]
+		}
+	}
+}
+
+// Rollback discards the transaction. The base plan was never mutated, so
+// this only releases the private state; the Txn must not be used after
+// (Reset it to reuse the buffers instead).
+func (tx *Txn) Rollback() {
+	tx.ins, tx.gaps, tx.touched, tx.tasks, tx.log, tx.placed = nil, nil, nil, nil, nil, 0
+}
+
+// Commit applies the transaction to the base plan: speculative
+// assignments are merged into the touched timelines and the copy-on-write
+// gap-index snapshots swapped in — O(touched timelines), no re-clone. It
+// panics if the base plan was mutated (directly or by another commit)
+// since Begin/Reset: trials racing to commit is an algorithmic error. The
+// Txn must not be used after Commit until Reset.
+func (tx *Txn) Commit() {
+	if tx.epoch != tx.base.epoch {
+		panic("sched: Txn.Commit against a plan modified since Begin")
+	}
+	for _, p := range tx.touched {
+		if len(tx.ins[p]) > 0 {
+			tx.base.procs[p] = tx.OnProc(p)
+			tx.base.gaps[p] = tx.gaps[p]
+			tx.base.procEpoch[p]++
+		}
+		// else: every op on p was undone; the reverted snapshot is
+		// equivalent to the base index, so keep the base's.
+
+		// Drop the snapshot either way — for a committed processor it is
+		// the base's index now, and holding on to it would let a reused
+		// transaction mutate the base in place.
+		tx.ins[p] = tx.ins[p][:0]
+		tx.gaps[p] = nil
+	}
+	for i := range tx.tasks {
+		tx.base.byTask[tx.tasks[i].task] = tx.tasks[i].copies
+	}
+	tx.base.placed += tx.placed
+	tx.base.epoch++
+
+	// Leave the transaction empty (journal included) so a later Reset
+	// cannot rewind state that is now owned by the base plan.
+	tx.touched = tx.touched[:0]
+	tx.tasks = tx.tasks[:0]
+	tx.log = tx.log[:0]
+	tx.placed = 0
+}

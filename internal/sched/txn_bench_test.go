@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+// benchChainPlan builds a plan with n tasks placed round-robin over 8
+// processors, leaving realistic gap structure for speculative trials.
+func benchChainPlan(b *testing.B, n int) (*Instance, *Plan) {
+	b.Helper()
+	bld := dag.NewBuilder("bench")
+	rng := rand.New(rand.NewSource(7))
+	prev := dag.TaskID(-1)
+	for i := 0; i < n; i++ {
+		t := bld.AddTask("t", 1+rng.Float64()*4)
+		if prev != -1 {
+			bld.AddEdge(prev, t, rng.Float64()*5)
+		}
+		prev = t
+	}
+	in := Consistent(bld.MustBuild(), platform.Homogeneous(8, 0, 1))
+	pl := NewPlan(in)
+	for i := 0; i < n-1; i++ {
+		p, s, _ := pl.BestEFT(dag.TaskID(i), true)
+		pl.Place(dag.TaskID(i), p, s)
+	}
+	return in, pl
+}
+
+// BenchmarkTxnBeginRollback measures the fixed cost of a speculative
+// trial that places one task and one duplicate and is then abandoned —
+// the dominant operation of the duplication schedulers. The cost must be
+// O(changes), independent of how much schedule the plan already holds
+// (compare n100 with n1000).
+func BenchmarkTxnBeginRollback(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{{"n100", 100}, {"n1000", 1000}} {
+		in, pl := benchChainPlan(b, tc.n)
+		last := dag.TaskID(tc.n - 1)
+		parent := dag.TaskID(tc.n - 2)
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			tx := pl.Begin()
+			for i := 0; i < b.N; i++ {
+				tx.Reset()
+				m := tx.Mark()
+				ps := tx.FindSlot(3, tx.DataReady(parent, 3), in.Cost(parent, 3), true)
+				tx.PlaceDup(parent, 3, ps)
+				s := tx.FindSlot(3, tx.DataReady(last, 3), in.Cost(last, 3), true)
+				tx.Place(last, 3, s)
+				tx.Undo(m)
+			}
+		})
+	}
+}
+
+// BenchmarkTxnCommit measures committing a small winning trial into a
+// large plan: O(touched timelines), not O(plan).
+func BenchmarkTxnCommit(b *testing.B) {
+	in, pl := benchChainPlan(b, 1000)
+	last := dag.TaskID(999)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := pl.Clone()
+		tx := work.Begin()
+		s := tx.FindSlot(3, tx.DataReady(last, 3), in.Cost(last, 3), true)
+		tx.Place(last, 3, s)
+		b.StartTimer()
+		tx.Commit()
+	}
+}

@@ -1,0 +1,313 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/platform"
+)
+
+// txnFixture returns a plan with a couple of tasks placed, ready for
+// speculative trials: diamond DAG on two processors, task 0 on P0 and
+// task 1 on P0.
+func txnFixture(t *testing.T) (*Instance, *Plan) {
+	t.Helper()
+	in := Consistent(diamondGraph(t), twoProc())
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0) // [0,2)
+	pl.Place(1, 0, 2) // [2,5)
+	return in, pl
+}
+
+func TestTxnVisibility(t *testing.T) {
+	_, pl := txnFixture(t)
+	tx := pl.Begin()
+
+	// Reads pass through before any write.
+	if got := len(tx.OnProc(0)); got != 2 {
+		t.Fatalf("OnProc(0) = %d entries, want 2", got)
+	}
+	if !tx.Scheduled(0) || tx.Scheduled(2) {
+		t.Fatal("pass-through Scheduled wrong")
+	}
+
+	// A speculative placement is visible to the transaction only.
+	tx.Place(2, 1, 6)
+	if !tx.Scheduled(2) {
+		t.Fatal("speculative task not visible in txn")
+	}
+	if pl.Scheduled(2) {
+		t.Fatal("speculative task leaked into base")
+	}
+	if got := len(tx.OnProc(1)); got != 1 {
+		t.Fatalf("txn OnProc(1) = %d entries, want 1", got)
+	}
+	if got := len(pl.OnProc(1)); got != 0 {
+		t.Fatalf("base OnProc(1) = %d entries, want 0", got)
+	}
+
+	// Queries see the speculative copy: data-ready of task 3 on P1 now
+	// includes task 2's finish there.
+	if ready := tx.DataReady(3, 1); ready <= 0 {
+		t.Fatalf("DataReady(3,P1) = %g", ready)
+	}
+}
+
+func TestTxnSlotQueriesMatchCommittedPlan(t *testing.T) {
+	// For any sequence of placements, a transaction's FindSlot/EFTOn must
+	// answer exactly like a plan that applied the same placements for
+	// real.
+	in := Consistent(diamondGraph(t), twoProc())
+	base := NewPlan(in)
+	base.Place(0, 0, 0)
+
+	mirror := base.Clone()
+	tx := base.Begin()
+	tx.Place(1, 0, 4)
+	mirror.Place(1, 0, 4)
+	tx.PlaceDup(0, 1, 1)
+	mirror.PlaceDup(0, 1, 1)
+
+	for p := 0; p < in.P(); p++ {
+		for _, ready := range []float64{0, 1.5, 2, 7} {
+			for _, dur := range []float64{0.5, 2, 10} {
+				got := tx.FindSlot(p, ready, dur, true)
+				want := mirror.FindSlot(p, ready, dur, true)
+				if got != want {
+					t.Fatalf("FindSlot(p=%d, ready=%g, dur=%g): txn %g != plan %g", p, ready, dur, got, want)
+				}
+				got = tx.FindSlot(p, ready, dur, false)
+				want = mirror.FindSlot(p, ready, dur, false)
+				if got != want {
+					t.Fatalf("FindSlot no-insert(p=%d, ready=%g, dur=%g): txn %g != plan %g", p, ready, dur, got, want)
+				}
+			}
+		}
+	}
+	s2, f2 := tx.EFTOn(2, 1, true)
+	w2, wf2 := mirror.EFTOn(2, 1, true)
+	if s2 != w2 || f2 != wf2 {
+		t.Fatalf("EFTOn(2,P1): txn (%g,%g) != plan (%g,%g)", s2, f2, w2, wf2)
+	}
+}
+
+func TestTxnUndoRestoresExactly(t *testing.T) {
+	_, pl := txnFixture(t)
+	tx := pl.Begin()
+
+	tx.Place(2, 1, 6)
+	gapsBefore := tx.gaps[1].Gaps()
+	slotBefore := tx.FindSlot(1, 0, 3, true)
+
+	m := tx.Mark()
+	tx.PlaceDup(0, 1, 0)
+	tx.PlaceDup(1, 1, 2)
+	if got := len(tx.OnProc(1)); got != 3 {
+		t.Fatalf("OnProc(1) = %d entries, want 3", got)
+	}
+	tx.Undo(m)
+
+	if got := len(tx.OnProc(1)); got != 1 {
+		t.Fatalf("after undo OnProc(1) = %d entries, want 1", got)
+	}
+	if got := len(tx.Copies(0)); got != 1 {
+		t.Fatalf("after undo Copies(0) = %d, want 1", got)
+	}
+	gapsAfter := tx.gaps[1].Gaps()
+	if len(gapsAfter) != len(gapsBefore) {
+		t.Fatalf("gap count %d != %d after undo", len(gapsAfter), len(gapsBefore))
+	}
+	for i := range gapsAfter {
+		if gapsAfter[i] != gapsBefore[i] {
+			t.Fatalf("gap %d: %v != %v after undo", i, gapsAfter[i], gapsBefore[i])
+		}
+	}
+	if got := tx.FindSlot(1, 0, 3, true); got != slotBefore {
+		t.Fatalf("FindSlot after undo = %g, want %g", got, slotBefore)
+	}
+
+	// Undo to zero mark unwinds everything including the primary.
+	tx.Undo(0)
+	if tx.Scheduled(2) {
+		t.Fatal("task 2 still scheduled after full undo")
+	}
+	if got := len(tx.OnProc(1)); got != 0 {
+		t.Fatalf("after full undo OnProc(1) = %d entries, want 0", got)
+	}
+}
+
+func TestTxnCommitEquivalentToDirectPlacement(t *testing.T) {
+	in := Consistent(diamondGraph(t), twoProc())
+
+	direct := NewPlan(in)
+	direct.Place(0, 0, 0)
+	direct.Place(1, 0, 2)
+	direct.PlaceDup(0, 1, 0)
+	direct.Place(2, 1, 2)
+	direct.Place(3, 1, 7)
+
+	base := NewPlan(in)
+	base.Place(0, 0, 0)
+	base.Place(1, 0, 2)
+	tx := base.Begin()
+	tx.PlaceDup(0, 1, 0)
+	tx.Place(2, 1, 2)
+	tx.Place(3, 1, 7)
+	tx.Commit()
+
+	if !base.Done() {
+		t.Fatal("base not done after commit")
+	}
+	for p := 0; p < in.P(); p++ {
+		g, w := base.OnProc(p), direct.OnProc(p)
+		if len(g) != len(w) {
+			t.Fatalf("P%d: %v != %v", p, g, w)
+		}
+		for k := range g {
+			if g[k] != w[k] {
+				t.Fatalf("P%d slot %d: %v != %v", p, k, g[k], w[k])
+			}
+		}
+		// Gap indexes answer identically after commit.
+		for _, dur := range []float64{0.5, 1, 4} {
+			if gs, ws := base.FindSlot(p, 0, dur, true), direct.FindSlot(p, 0, dur, true); gs != ws {
+				t.Fatalf("P%d FindSlot(dur=%g): %g != %g", p, dur, gs, ws)
+			}
+		}
+	}
+	if g, w := base.Makespan(), direct.Makespan(); g != w {
+		t.Fatalf("makespan %g != %g", g, w)
+	}
+	if err := base.Finalize("x").Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestTxnCommitStalePanics(t *testing.T) {
+	_, pl := txnFixture(t)
+	tx1 := pl.Begin()
+	tx2 := pl.Begin()
+	tx1.Place(2, 1, 6)
+	tx2.Place(2, 0, 6)
+	tx1.Commit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("commit of stale txn did not panic")
+		}
+	}()
+	tx2.Commit()
+}
+
+func TestTxnCommitAfterBlockProcPanics(t *testing.T) {
+	_, pl := txnFixture(t)
+	tx := pl.Begin()
+	tx.Place(2, 1, 6)
+	pl.BlockProc(1, 100) // effective change: epoch bump
+	defer func() {
+		if recover() == nil {
+			t.Fatal("commit after BlockProc did not panic")
+		}
+	}()
+	tx.Commit()
+}
+
+func TestTxnResetReuse(t *testing.T) {
+	_, pl := txnFixture(t)
+	tx := pl.Begin()
+	tx.Place(2, 1, 6)
+	tx.Commit()
+	tx.Reset()
+	// After reset the txn is clean against the new epoch.
+	if tx.Scheduled(3) {
+		t.Fatal("reset txn sees stale state")
+	}
+	tx.Place(3, 1, 8)
+	tx.Commit()
+	if !pl.Done() {
+		t.Fatal("plan not done")
+	}
+	if err := pl.Finalize("x").Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestTxnConcurrentTrialsShareBase(t *testing.T) {
+	// P independent transactions over one base, mutated concurrently:
+	// run with -race to prove trials never share mutable state. Each
+	// trial duplicates tasks onto its own processor and queries every
+	// processor (like the ILS lookahead does).
+	in := Consistent(diamondGraph(t), platform.Homogeneous(4, 0, 1))
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0)
+	pl.Place(1, 0, 2)
+
+	txs := make([]*Txn, in.P())
+	done := make(chan int, in.P())
+	for p := 0; p < in.P(); p++ {
+		go func(p int) {
+			tx := pl.Begin()
+			txs[p] = tx
+			m := tx.Mark()
+			tx.PlaceDup(0, p, tx.FindSlot(p, 0, in.Cost(0, p), true))
+			start := tx.FindSlot(p, tx.DataReady(2, p), in.Cost(2, p), true)
+			tx.Place(2, p, start)
+			for q := 0; q < in.P(); q++ {
+				_ = tx.FindSlot(q, 0, 1, true)
+				_ = tx.DataReady(3, q)
+			}
+			tx.Undo(m)
+			tx.Place(2, p, tx.FindSlot(p, tx.DataReady(2, p), in.Cost(2, p), true))
+			done <- p
+		}(p)
+	}
+	for i := 0; i < in.P(); i++ {
+		<-done
+	}
+	// Any single winner can commit; the others are dropped.
+	winner := rand.New(rand.NewSource(1)).Intn(in.P())
+	txs[winner].Commit()
+	if !pl.Scheduled(2) {
+		t.Fatal("winner commit lost")
+	}
+	p3, s3, f3 := pl.BestEFT(3, true)
+	if math.IsInf(f3, 1) {
+		t.Fatal("no slot for task 3")
+	}
+	pl.Place(3, p3, s3)
+	if err := pl.Finalize("x").Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestTxnDataReadyPanicsOnUnscheduledParent(t *testing.T) {
+	_, pl := txnFixture(t)
+	tx := pl.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	tx.DataReady(3, 0) // parent 2 unscheduled
+}
+
+func TestTxnPlacePanics(t *testing.T) {
+	_, pl := txnFixture(t)
+	tx := pl.Begin()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double place did not panic")
+			}
+		}()
+		tx.Place(0, 1, 10)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("dup of unscheduled did not panic")
+			}
+		}()
+		tx.PlaceDup(3, 1, 10)
+	}()
+}
