@@ -12,8 +12,15 @@ all: build
 build:
 	$(GO) build ./...
 
+# go vet always; staticcheck when the host has it (not vendored, so CI
+# images without it still pass the tier).
 vet:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "vet: staticcheck not installed, skipped"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -23,12 +30,14 @@ race:
 
 # Focused race pass over the concurrency-heavy subsystems: the
 # experiment repetition worker pool, the schedd service (worker pool,
-# cache, graceful shutdown), the speculative-transaction layer, and the
-# differential suite with the per-processor trial workers forced on.
-# `race` already covers them once; this tier re-runs them with fresh
-# state so interleavings differ between passes.
+# cache, graceful shutdown), the speculative-transaction layer (including
+# cloned comm-state trials under contended models), the ILS trial
+# machinery, the contention-aware wrappers, and the differential suite
+# with the per-processor trial workers forced on. `race` already covers
+# them once; this tier re-runs them with fresh state so interleavings
+# differ between passes.
 race-concurrent:
-	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/algo/suite
+	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/algo/suite ./internal/core ./internal/algo/contention
 
 # One iteration of the scheduler-throughput benchmark at every size,
 # plus the transaction-layer micro-benchmarks (trial begin/rollback,
@@ -45,6 +54,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadJSON -fuzztime 5s ./internal/dag
 	$(GO) test -run '^$$' -fuzz FuzzReadDAX -fuzztime 5s ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzReadGraphJSON -fuzztime 5s .
+	$(GO) test -run '^$$' -fuzz FuzzScheduleRequest -fuzztime 5s ./internal/service
 
 # Regenerate BENCH_sched.json (real measurement; takes a minute).
 scale:

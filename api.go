@@ -55,10 +55,62 @@ type (
 // NewSystem validates cfg and builds a System.
 func NewSystem(cfg SystemConfig) (*System, error) { return platform.New(cfg) }
 
+// Communication models.
+type (
+	// CommModel prices and (when contended) serializes inter-processor
+	// transfers; see CommModelKinds for the registered implementations.
+	CommModel = platform.CommModel
+	// SharedLinkConfig maps processors onto shared buses for the
+	// "shared-link" model.
+	SharedLinkConfig = platform.SharedLinkConfig
+)
+
+// CommModelKinds lists the registered communication-model kinds:
+// "contention-free", "one-port" and "shared-link".
+func CommModelKinds() []string { return platform.ModelKinds() }
+
+// CommModelByKind builds the named communication model for a system
+// (shared-link defaults to a single unit-bandwidth bus; use
+// NewSharedLinkModel for explicit topologies).
+func CommModelByKind(kind string, sys *System) (CommModel, error) {
+	return platform.ModelByKind(kind, sys)
+}
+
+// NewSharedLinkModel builds a shared-link model with an explicit
+// processor-to-bus mapping and per-bus bandwidths.
+func NewSharedLinkModel(sys *System, cfg SharedLinkConfig) (CommModel, error) {
+	return platform.NewSharedLink(sys, cfg)
+}
+
+// WithCommModel returns a copy of the instance bound to the model: every
+// registry algorithm scheduled on the result prices — and, under a
+// contended model, reserves — communication through it. A nil or
+// contention-free model reproduces the classic matrix costs bit for bit.
+func WithCommModel(in *Instance, m CommModel) *Instance { return in.WithComm(m) }
+
+// ContentionAware wraps any algorithm so it schedules under a contended
+// communication model (kind defaults to "one-port"), the generalization
+// of C-HEFT to the whole registry. The returned schedules are named
+// "C-<inner name>".
+func ContentionAware(a Algorithm, kind string) Algorithm {
+	return algo.CommAware{Inner: a, Kind: kind}
+}
+
 // HomogeneousSystem returns p identical unit-speed processors with the
 // given per-message latency and per-data-unit transfer time on all links.
 func HomogeneousSystem(p int, latency, timePerUnit float64) *System {
 	return platform.Homogeneous(p, latency, timePerUnit)
+}
+
+// SystemGenConfig parameterizes random system generation: processor-speed
+// heterogeneity plus per-link startup and transfer-rate spreads that emit
+// non-uniform link matrices.
+type SystemGenConfig = platform.GenConfig
+
+// GenerateSystem draws a random system from cfg, deterministically per
+// seed; zero spreads consume nothing from rng.
+func GenerateSystem(cfg SystemGenConfig, rng *rand.Rand) (*System, error) {
+	return platform.Generate(cfg, rng)
 }
 
 // Problem instances.

@@ -45,11 +45,11 @@ func TestQuickstartFlow(t *testing.T) {
 }
 
 func TestRegistryThroughFacade(t *testing.T) {
-	if len(dagsched.Algorithms()) != 18 {
+	if len(dagsched.Algorithms()) != 19 {
 		t.Fatalf("registry size %d", len(dagsched.Algorithms()))
 	}
 	names := dagsched.AlgorithmNames()
-	if len(names) != 21 {
+	if len(names) != 22 {
 		t.Fatalf("names size %d", len(names))
 	}
 	if len(dagsched.SearchLineup()) != 3 {
@@ -128,7 +128,7 @@ func TestOptimalThroughFacade(t *testing.T) {
 }
 
 func TestExperimentsThroughFacade(t *testing.T) {
-	if len(dagsched.Experiments()) != 19 {
+	if len(dagsched.Experiments()) != 20 {
 		t.Fatalf("suite size %d", len(dagsched.Experiments()))
 	}
 	e, err := dagsched.ExperimentByID("E1")

@@ -57,6 +57,8 @@ func BenchmarkE15SearchVsList(b *testing.B)   { runExperiment(b, "E15") }
 func BenchmarkE16Contention(b *testing.B)     { runExperiment(b, "E16") }
 func BenchmarkE17DupBudget(b *testing.B)      { runExperiment(b, "E17") }
 func BenchmarkE18LinkSpread(b *testing.B)     { runExperiment(b, "E18") }
+func BenchmarkE19FailStopRepair(b *testing.B) { runExperiment(b, "E19") }
+func BenchmarkE20CommModels(b *testing.B)     { runExperiment(b, "E20") }
 
 // benchSizeCap bounds the DAG size each algorithm is benchmarked at in
 // BenchmarkAlgorithms (it mirrors scaleSizeCap in cmd/schedbench). The
@@ -77,6 +79,7 @@ var benchSizeCap = map[string]int{
 	"BTDH":   1000,
 	"DSC":    1000,
 	"C-HEFT": 1000,
+	"C-ILS":  1000,
 }
 
 // BenchmarkAlgorithms times every registry algorithm on layered random

@@ -29,11 +29,13 @@ func main() {
 		workers = flag.Int("workers", 0, "repetition worker pool size (0 = GOMAXPROCS); never affects results")
 		scale   = flag.Bool("scale", false, "run the scheduler-throughput sweep instead of the experiment suite")
 		out     = flag.String("out", "BENCH_sched.json", "output path for -scale ('-' = stdout)")
+		linkSp  = flag.Float64("link-spread", 0, "per-link transfer-rate spread in [0,2) for -scale instances (0 = uniform links)")
+		startSp = flag.Float64("startup-spread", 0, "per-link startup spread in [0,2) for -scale instances")
 	)
 	flag.Parse()
 
 	if *scale {
-		if err := runScale(*out, *reps, *seed, *quick); err != nil {
+		if err := runScale(*out, *reps, *seed, *quick, *linkSp, *startSp); err != nil {
 			fatal(err)
 		}
 		return

@@ -34,6 +34,7 @@ var scaleSizeCap = map[string]int{
 	"BTDH":   1000,
 	"DSC":    1000,
 	"C-HEFT": 1000,
+	"C-ILS":  1000,
 }
 
 // scaleReport is the machine-readable output of the -scale mode.
@@ -63,12 +64,14 @@ func cpuModel() string {
 }
 
 type scaleConfig struct {
-	Sizes []int   `json:"sizes"`
-	Procs int     `json:"procs"`
-	CCR   float64 `json:"ccr"`
-	Beta  float64 `json:"beta"`
-	Reps  int     `json:"reps"`
-	Seed  int64   `json:"seed"`
+	Sizes         []int   `json:"sizes"`
+	Procs         int     `json:"procs"`
+	CCR           float64 `json:"ccr"`
+	Beta          float64 `json:"beta"`
+	LinkSpread    float64 `json:"link_spread,omitempty"`
+	StartupSpread float64 `json:"startup_spread,omitempty"`
+	Reps          int     `json:"reps"`
+	Seed          int64   `json:"seed"`
 }
 
 type scaleResult struct {
@@ -87,7 +90,7 @@ type scaleResult struct {
 // point BenchmarkAlgorithms uses) and writes the measurements as JSON.
 // Best-of-reps is the headline number: wall-clock minima are the standard
 // low-noise point estimate for CPU-bound work.
-func runScale(outPath string, reps int, seed int64, quick bool) error {
+func runScale(outPath string, reps int, seed int64, quick bool, linkSpread, startupSpread float64) error {
 	sizes := []int{100, 1000, 10000}
 	if quick {
 		sizes = []int{100, 1000}
@@ -100,7 +103,8 @@ func runScale(outPath string, reps int, seed int64, quick bool) error {
 		GoVersion: runtime.Version(),
 		GoOSArch:  runtime.GOOS + "/" + runtime.GOARCH,
 		CPU:       cpuModel(),
-		Config:    scaleConfig{Sizes: sizes, Procs: 8, CCR: 1, Beta: 1, Reps: reps, Seed: seed},
+		Config: scaleConfig{Sizes: sizes, Procs: 8, CCR: 1, Beta: 1,
+			LinkSpread: linkSpread, StartupSpread: startupSpread, Reps: reps, Seed: seed},
 	}
 	for _, n := range sizes {
 		rng := rand.New(rand.NewSource(seed + int64(n)))
@@ -108,7 +112,8 @@ func runScale(outPath string, reps int, seed int64, quick bool) error {
 		if err != nil {
 			return err
 		}
-		in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: 8, CCR: 1, Beta: 1}, rng)
+		in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: 8, CCR: 1, Beta: 1,
+			LinkSpread: linkSpread, StartupSpread: startupSpread}, rng)
 		if err != nil {
 			return err
 		}

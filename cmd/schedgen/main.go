@@ -6,6 +6,7 @@
 //	schedgen -type random -n 100 -shape 1.0 -outdeg 4 -seed 7 -o g.json
 //	schedgen -type gauss -m 15 -dot g.dot
 //	schedgen -type fft -n 64
+//	schedgen -type random -n 60 -instance in.json -procs 8 -speed-het 0.5 -startup-spread 1 -link-spread 1
 //
 // Types: random, gauss, fft, laplace, forkjoin, intree, outtree,
 // pipeline, montage, cholesky, lu.
@@ -38,6 +39,14 @@ func main() {
 		out    = flag.String("o", "-", "output JSON file (- for stdout)")
 		dot    = flag.String("dot", "", "also write Graphviz DOT to this file")
 		stats  = flag.Bool("stats", false, "print structural statistics to stderr")
+
+		inst     = flag.String("instance", "", "also write a full problem instance (graph + generated system + consistent costs) to this file")
+		procs    = flag.Int("procs", 8, "processor count for -instance")
+		speedHet = flag.Float64("speed-het", 0, "processor-speed heterogeneity in [0,2) for -instance")
+		latency  = flag.Float64("latency", 0, "per-link startup latency for -instance")
+		tpu      = flag.Float64("tpu", 1, "per-data-unit transfer time for -instance")
+		startSp  = flag.Float64("startup-spread", 0, "per-link startup spread in [0,2) for -instance (non-uniform startup matrix)")
+		linkSp   = flag.Float64("link-spread", 0, "per-link transfer-rate spread in [0,2) for -instance (non-uniform rate matrix)")
 	)
 	flag.Parse()
 
@@ -82,6 +91,32 @@ func main() {
 		g.Name(), g.Len(), g.NumEdges(), g.Height())
 	if *stats {
 		fmt.Fprintln(os.Stderr, g.ComputeStats())
+	}
+	if *inst != "" {
+		// The system draw is seeded independently of the graph draw, so
+		// the same -seed reproduces the same topology for any -type.
+		sysRng := rand.New(rand.NewSource(*seed))
+		sys, err := dagsched.GenerateSystem(dagsched.SystemGenConfig{
+			Procs:              *procs,
+			SpeedHeterogeneity: *speedHet,
+			Latency:            *latency,
+			TimePerUnit:        *tpu,
+			StartupSpread:      *startSp,
+			LinkSpread:         *linkSp,
+		}, sysRng)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*inst)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := dagsched.ConsistentInstance(g, sys).WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d processors, speed-het %g, startup-spread %g, link-spread %g\n",
+			*inst, *procs, *speedHet, *startSp, *linkSp)
 	}
 }
 

@@ -32,6 +32,9 @@ func main() {
 		ccr       = flag.Float64("ccr", 1.0, "target communication-to-computation ratio")
 		beta      = flag.Float64("beta", 1.0, "cost heterogeneity in [0,2); 0 = homogeneous")
 		latency   = flag.Float64("latency", 0, "per-message startup latency")
+		linkSp    = flag.Float64("link-spread", 0, "per-link transfer-rate spread in [0,2) for -graph instances")
+		startSp   = flag.Float64("startup-spread", 0, "per-link startup spread in [0,2) for -graph instances")
+		commModel = flag.String("comm-model", "", "communication model the schedulers (and the replay) run under: contention-free|one-port|shared-link; empty keeps the classic matrix costs")
 		seed      = flag.Int64("seed", 1, "cost-matrix seed")
 		gantt     = flag.Bool("gantt", true, "print an ASCII Gantt chart")
 		svg       = flag.String("svg", "", "write the schedule as SVG to this file")
@@ -76,12 +79,20 @@ func main() {
 		rng := rand.New(rand.NewSource(*seed))
 		in, err = dagsched.MakeInstance(g, dagsched.WorkloadConfig{
 			Procs: *procs, CCR: *ccr, Beta: *beta, Latency: *latency,
+			LinkSpread: *linkSp, StartupSpread: *startSp,
 		}, rng)
 		if err != nil {
 			fatal(err)
 		}
 	default:
 		fatal(fmt.Errorf("one of -graph (see schedgen) or -instance is required"))
+	}
+	if *commModel != "" {
+		m, err := dagsched.CommModelByKind(*commModel, in.Sys)
+		if err != nil {
+			fatal(err)
+		}
+		in = dagsched.WithCommModel(in, m)
 	}
 	if *saveInst != "" {
 		f, err := os.Create(*saveInst)
@@ -150,13 +161,18 @@ func main() {
 	if *trace != "" {
 		writeWith(*trace, best, dagsched.WriteChromeTrace)
 	}
-	if *noise > 0 || *contend {
-		rep, err := dagsched.Simulate(best, dagsched.SimConfig{Noise: *noise, Seed: *seed, Contention: *contend})
+	if *noise > 0 || *contend || *commModel != "" {
+		cfg := dagsched.SimConfig{Noise: *noise, Seed: *seed, Contention: *contend}
+		if *commModel != "" {
+			// Replay under the model the schedulers planned with.
+			cfg.Model = in.CommModel()
+		}
+		rep, err := dagsched.Simulate(best, cfg)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nreplay (noise ±%.0f%%, contention=%v): makespan %.4g (stretch %.3f, %d transfers)\n",
-			*noise*100, *contend, rep.Makespan, rep.Stretch, rep.Transfers)
+		fmt.Printf("\nreplay (noise ±%.0f%%, model %s): makespan %.4g (stretch %.3f, %d transfers)\n",
+			*noise*100, rep.Model, rep.Makespan, rep.Stretch, rep.Transfers)
 	}
 	if *analyze {
 		an := dagsched.Analyze(best)

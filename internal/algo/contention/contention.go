@@ -1,212 +1,67 @@
-// Package contention implements contention-aware list scheduling in the
-// spirit of Sinnen and Sousa: the earliest-start computation models every
-// inter-processor transfer explicitly under the one-port model (one send
-// port and one receive port per processor), reserving port time as tasks
-// are placed. Schedules remain valid under the classic contention-free
-// validator (starts only move later) but lose far less when replayed on a
-// network that serializes transfers (experiment E16).
+// Package contention exposes the contention-aware schedulers built on the
+// pluggable communication-model layer. The one-port earliest-start logic
+// (one send port and one receive port per processor, transfers serialize
+// on both; Sinnen and Sousa) that used to live here as a private
+// span-list implementation is now platform.OnePort + the reservation
+// plumbing in sched.Plan/Txn, shared by every algorithm in the registry:
+// CHEFT is simply HEFT run through algo.CommAware, and any other
+// scheduler gains the same awareness by the same wrapping. Schedules
+// remain valid under the classic contention-free validator (starts only
+// move later) but lose far less when replayed on a network that
+// serializes transfers (experiments E16/E20).
 package contention
 
 import (
-	"math"
+	"context"
 
 	"dagsched/internal/algo"
-	"dagsched/internal/dag"
+	"dagsched/internal/algo/listsched"
+	"dagsched/internal/platform"
 	"dagsched/internal/sched"
 )
 
-// spanList is a sorted list of disjoint busy intervals on one port.
-type spanList []span
-
-type span struct{ s, e float64 }
-
-// earliestFrom returns the earliest start >= t at which an interval of
-// length dur fits between the busy spans.
-func (sp spanList) earliestFrom(t, dur float64) float64 {
-	const eps = 1e-9
-	for _, iv := range sp {
-		if t+dur <= iv.s+eps {
-			return t
-		}
-		if iv.e > t {
-			t = iv.e
-		}
-	}
-	return t
-}
-
-// insert adds [s, e) keeping the list sorted. Overlaps indicate a caller
-// bug and panic.
-func (sp *spanList) insert(s, e float64) {
-	const eps = 1e-9
-	list := *sp
-	k := len(list)
-	for k > 0 && list[k-1].s > s {
-		k--
-	}
-	if k > 0 && list[k-1].e > s+eps {
-		panic("contention: overlapping port reservation")
-	}
-	if k < len(list) && e > list[k].s+eps {
-		panic("contention: overlapping port reservation")
-	}
-	list = append(list, span{})
-	copy(list[k+1:], list[k:])
-	list[k] = span{s, e}
-	*sp = list
-}
-
-// network tracks the send and receive port reservations of every
-// processor.
-type network struct {
-	send []spanList
-	recv []spanList
-}
-
-func newNetwork(p int) *network {
-	return &network{send: make([]spanList, p), recv: make([]spanList, p)}
-}
-
-func (nw *network) clone() *network {
-	cp := newNetwork(len(nw.send))
-	for i := range nw.send {
-		cp.send[i] = append(spanList(nil), nw.send[i]...)
-		cp.recv[i] = append(spanList(nil), nw.recv[i]...)
-	}
-	return cp
-}
-
-// transferStart returns the earliest time >= ready at which a transfer of
-// the given duration can occupy both the sender's send port and the
-// receiver's receive port. The alternation converges because every
-// iteration advances t past a busy span.
-func (nw *network) transferStart(from, to int, ready, dur float64) float64 {
-	t := ready
-	for {
-		t1 := nw.send[from].earliestFrom(t, dur)
-		t2 := nw.recv[to].earliestFrom(t1, dur)
-		if t2 == t1 {
-			return t1
-		}
-		t = t2
-	}
-}
-
-// reserve commits a transfer on both ports.
-func (nw *network) reserve(from, to int, start, dur float64) {
-	if dur <= 0 {
-		return
-	}
-	nw.send[from].insert(start, start+dur)
-	nw.recv[to].insert(start, start+dur)
-}
-
-// arrival computes when the data of predecessor pe reaches processor p,
-// given the current plan and network; commit reserves the chosen
-// transfer's ports.
-func arrival(pl *sched.Plan, nw *network, pe dag.Adj, p int, commit bool) float64 {
-	in := pl.Instance()
-	best := math.Inf(1)
-	bestProc := -1
-	bestStart, bestDur := 0.0, 0.0
-	for _, c := range pl.Copies(pe.To) {
-		if c.Proc == p {
-			if c.Finish < best {
-				best, bestProc = c.Finish, p
-			}
-			continue
-		}
-		dur := in.Sys.CommCost(c.Proc, p, pe.Data)
-		if dur == 0 {
-			if c.Finish < best {
-				best, bestProc = c.Finish, p
-			}
-			continue
-		}
-		start := nw.transferStart(c.Proc, p, c.Finish, dur)
-		if start+dur < best {
-			best, bestProc, bestStart, bestDur = start+dur, c.Proc, start, dur
-		}
-	}
-	if commit && bestProc != -1 && bestProc != p && bestDur > 0 {
-		nw.reserve(bestProc, p, bestStart, bestDur)
-	}
-	return best
-}
-
-// estimate returns the contention-aware (start, finish) of task t on
-// processor p without committing any reservation.
-func estimate(pl *sched.Plan, nw *network, t dag.TaskID, p int) (float64, float64) {
-	in := pl.Instance()
-	ready := 0.0
-	for _, pe := range in.G.Pred(t) {
-		if a := arrival(pl, nw, pe, p, false); a > ready {
-			ready = a
-		}
-	}
-	start := pl.FindSlot(p, ready, in.Cost(t, p), true)
-	return start, start + in.Cost(t, p)
-}
-
-// commitPlace reserves all incoming transfers of t on p (in predecessor
-// id order, recomputing each against the already-committed ports) and
-// places the task.
-func commitPlace(pl *sched.Plan, nw *network, t dag.TaskID, p int) {
-	in := pl.Instance()
-	ready := 0.0
-	for _, pe := range in.G.Pred(t) {
-		if a := arrival(pl, nw, pe, p, true); a > ready {
-			ready = a
-		}
-	}
-	start := pl.FindSlot(p, ready, in.Cost(t, p), true)
-	pl.Place(t, p, start)
-}
-
 // CHEFT is contention-aware HEFT: upward-rank order, processor choice by
-// the contention-aware insertion EFT, sequential port commitment.
+// the contention-aware insertion EFT, sequential port commitment — HEFT
+// delegated through the shared one-port reservation layer.
 type CHEFT struct{}
 
 // Name implements algo.Algorithm.
 func (CHEFT) Name() string { return "C-HEFT" }
 
+func cheft() algo.CommAware {
+	return algo.CommAware{Inner: listsched.HEFT{}, Kind: platform.KindOnePort, DisplayName: "C-HEFT"}
+}
+
 // Schedule implements algo.Algorithm.
 func (CHEFT) Schedule(in *sched.Instance) (*sched.Schedule, error) {
-	order := algo.OrderDescPrecedence(in.G, sched.RankUpward(in))
-	pl := sched.NewPlan(in)
-	nw := newNetwork(in.P())
-	for _, t := range order {
-		bestP, bestF := -1, math.Inf(1)
-		for p := 0; p < in.P(); p++ {
-			if _, f := estimate(pl, nw, t, p); f < bestF {
-				bestP, bestF = p, f
-			}
-		}
-		commitPlace(pl, nw, t, bestP)
-	}
-	return pl.Finalize("C-HEFT"), nil
+	return cheft().Schedule(in)
+}
+
+// ScheduleContext implements algo.CtxScheduler: the inner HEFT loop polls
+// the context, so contention-aware service requests abort on deadline.
+func (CHEFT) ScheduleContext(ctx context.Context, in *sched.Instance) (*sched.Schedule, error) {
+	return cheft().ScheduleContext(ctx, in)
 }
 
 // PortSchedule exposes the committed reservations for tests: the total
-// reserved send time per processor after scheduling in with CHEFT.
+// reserved send-port time per processor after scheduling in under the
+// one-port model with CHEFT.
 func PortSchedule(in *sched.Instance) ([]float64, error) {
-	order := algo.OrderDescPrecedence(in.G, sched.RankUpward(in))
-	pl := sched.NewPlan(in)
-	nw := newNetwork(in.P())
-	for _, t := range order {
-		bestP, bestF := -1, math.Inf(1)
-		for p := 0; p < in.P(); p++ {
-			if _, f := estimate(pl, nw, t, p); f < bestF {
-				bestP, bestF = p, f
-			}
-		}
-		commitPlace(pl, nw, t, bestP)
+	model, err := platform.ModelByKind(platform.KindOnePort, in.Sys)
+	if err != nil {
+		return nil, err
 	}
-	out := make([]float64, in.P())
-	for p := range nw.send {
-		for _, iv := range nw.send[p] {
-			out[p] += iv.e - iv.s
-		}
+	bound := in.WithComm(model)
+	order := algo.OrderDescPrecedence(bound.G, sched.RankUpward(bound))
+	pl := sched.NewPlan(bound)
+	for _, t := range order {
+		p, s, _ := pl.BestEFT(t, true)
+		pl.Place(t, p, s)
+	}
+	out := make([]float64, bound.P())
+	if st := pl.CommState(); st != nil {
+		// One-port resource layout: send ports are 0..P-1.
+		copy(out, st.Busy()[:bound.P()])
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package contention
 import (
 	"testing"
 
+	"dagsched/internal/algo"
 	"dagsched/internal/algo/listsched"
 	"dagsched/internal/dag"
 	"dagsched/internal/platform"
@@ -10,59 +11,6 @@ import (
 	"dagsched/internal/sim"
 	"dagsched/internal/testfix"
 )
-
-func TestSpanListEarliestFrom(t *testing.T) {
-	sp := spanList{{2, 4}, {6, 9}}
-	cases := []struct {
-		t, dur, want float64
-	}{
-		{0, 1, 0},   // fits before the first span
-		{0, 2, 0},   // exact fit before the first span
-		{0, 3, 9},   // too long for any gap: after the last span
-		{3, 1, 4},   // inside a busy span: bumped to its end
-		{4, 2, 4},   // gap [4,6) exact fit
-		{5, 2, 9},   // gap too small from 5
-		{10, 5, 10}, // after everything
-	}
-	for _, c := range cases {
-		if got := sp.earliestFrom(c.t, c.dur); got != c.want {
-			t.Errorf("earliestFrom(%g,%g) = %g, want %g", c.t, c.dur, got, c.want)
-		}
-	}
-}
-
-func TestSpanListInsertOrderAndOverlapPanic(t *testing.T) {
-	var sp spanList
-	sp.insert(5, 7)
-	sp.insert(0, 2)
-	sp.insert(9, 10)
-	if sp[0].s != 0 || sp[1].s != 5 || sp[2].s != 9 {
-		t.Fatalf("not sorted: %v", sp)
-	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("overlapping insert did not panic")
-		}
-	}()
-	sp.insert(6, 8)
-}
-
-func TestTransferStartAlternation(t *testing.T) {
-	nw := newNetwork(2)
-	// Sender busy [0,5), receiver busy [5,8).
-	nw.send[0].insert(0, 5)
-	nw.recv[1].insert(5, 8)
-	// A 2-unit transfer ready at 0 must wait for 8 (send free at 5, but
-	// recv blocks [5,8)).
-	if got := nw.transferStart(0, 1, 0, 2); got != 8 {
-		t.Fatalf("transferStart = %g, want 8", got)
-	}
-	// A 2-unit transfer into an un-busy receiver: fits nothing on send
-	// before 5.
-	if got := nw.transferStart(0, 0, 0, 2); got != 5 {
-		t.Fatalf("transferStart same ports = %g, want 5", got)
-	}
-}
 
 func TestCHEFTValidOnBattery(t *testing.T) {
 	testfix.Battery(testfix.BatteryConfig{Trials: 30, Seed: 7001}, func(trial int, in *sched.Instance) {
@@ -89,6 +37,35 @@ func TestCHEFTValidOnAppGraphs(t *testing.T) {
 			t.Fatalf("%s: %v", in.G.Name(), err)
 		}
 	}
+}
+
+// CHEFT is, by construction, HEFT behind the generic CommAware wrapper;
+// wrapping HEFT by hand must produce the identical schedule, and the
+// result must carry the wrapper's display name.
+func TestCHEFTIsWrappedHEFT(t *testing.T) {
+	testfix.Battery(testfix.BatteryConfig{Trials: 10, MaxCCR: 8, Seed: 7005}, func(trial int, in *sched.Instance) {
+		a, err := CHEFT{}.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := algo.CommAware{Inner: listsched.HEFT{}, Kind: platform.KindOnePort}
+		b, err := w.Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Makespan() != b.Makespan() {
+			t.Fatalf("trial %d: CHEFT %g != wrapped HEFT %g", trial, a.Makespan(), b.Makespan())
+		}
+		for i := 0; i < in.N(); i++ {
+			pa, pb := a.Primary(dag.TaskID(i)), b.Primary(dag.TaskID(i))
+			if pa.Proc != pb.Proc || pa.Start != pb.Start {
+				t.Fatalf("trial %d: task %d placed differently", trial, i)
+			}
+		}
+		if a.Algorithm() != "C-HEFT" || b.Algorithm() != "C-HEFT" {
+			t.Fatalf("names %q / %q", a.Algorithm(), b.Algorithm())
+		}
+	})
 }
 
 // The point of the algorithm: under the one-port replay, C-HEFT schedules

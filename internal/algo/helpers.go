@@ -117,7 +117,7 @@ func arrivalOn(v sched.View, m dag.TaskID, p int, data float64) float64 {
 	in := v.Instance()
 	best := -1.0
 	for _, c := range v.Copies(m) {
-		t := c.Finish + in.Sys.CommCost(c.Proc, p, data)
+		t := c.Finish + in.CommCost(c.Proc, p, data)
 		if best < 0 || t < best {
 			best = t
 		}

@@ -38,6 +38,10 @@ func All() []algo.Algorithm {
 		dup.BTDH{},
 		cluster.DSC{},
 		contention.CHEFT{},
+		// ILS through the same shared contention layer as C-HEFT: the
+		// whole duplication/lookahead machinery runs against one-port
+		// reservations, journaled and rolled back per speculative trial.
+		algo.CommAware{Inner: core.New(), DisplayName: "C-ILS"},
 	}
 }
 

@@ -16,8 +16,8 @@ func TestAllUniqueNames(t *testing.T) {
 		}
 		seen[a.Name()] = true
 	}
-	if len(seen) != 18 {
-		t.Fatalf("registry has %d algorithms, want 18", len(seen))
+	if len(seen) != 19 {
+		t.Fatalf("registry has %d algorithms, want 19", len(seen))
 	}
 	for _, a := range Search() {
 		if seen[a.Name()] {
@@ -25,8 +25,8 @@ func TestAllUniqueNames(t *testing.T) {
 		}
 		seen[a.Name()] = true
 	}
-	if len(seen) != 21 {
-		t.Fatalf("full registry has %d algorithms, want 21", len(seen))
+	if len(seen) != 22 {
+		t.Fatalf("full registry has %d algorithms, want 22", len(seen))
 	}
 }
 

@@ -207,7 +207,7 @@ func estimateChildEFT(v sched.View, c dag.TaskID, estFinish []float64) float64 {
 			if v.Scheduled(pe.To) {
 				arrival = math.Inf(1)
 				for _, cp := range v.Copies(pe.To) {
-					if t := cp.Finish + in.Sys.CommCost(cp.Proc, q, pe.Data); t < arrival {
+					if t := cp.Finish + in.CommCost(cp.Proc, q, pe.Data); t < arrival {
 						arrival = t
 					}
 				}

@@ -1,0 +1,343 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Model kinds accepted by ModelByKind and reported by CommModel.Kind.
+const (
+	KindContentionFree = "contention-free"
+	KindOnePort        = "one-port"
+	KindSharedLink     = "shared-link"
+)
+
+// CommModel is the pluggable communication-cost model consulted by the
+// scheduling substrate, the simulator and the service. A model answers two
+// orthogonal questions: how long a transfer takes on an otherwise idle
+// network (Cost/MeanCost), and which network resources it occupies while
+// in flight (NewState). The classic contention-free model of the paper is
+// the zero case: costs come straight from the System matrices and
+// NewState returns nil — no resource ever serializes.
+type CommModel interface {
+	// Kind returns the model's registry name (one of the Kind* constants).
+	Kind() string
+	// Cost returns the idle-network transfer time of data units from
+	// processor from to processor to; 0 when from == to.
+	Cost(from, to int, data float64) float64
+	// MeanCost averages Cost over all ordered distinct processor pairs —
+	// the c̄ consumed by rank computations. 0 with fewer than 2 processors.
+	MeanCost(data float64) float64
+	// NewState returns a fresh reservation state for one scheduling or
+	// replay run, or nil when the model has no contended resources.
+	NewState() CommState
+}
+
+// CommState tracks the busy intervals of a model's contended resources
+// while a schedule is built or replayed. Reservations are journaled:
+// Mark/Undo rewind them exactly, which is what lets speculative
+// transactions (sched.Txn) trial contention-aware placements and roll
+// them back bit-for-bit (DESIGN.md invariant 8).
+//
+// A CommState is not safe for concurrent mutation; concurrent trials each
+// Clone the frozen base state instead. TransferStart is a pure query and
+// may be called concurrently with other queries.
+type CommState interface {
+	// TransferStart returns the earliest time >= ready at which a transfer
+	// of the given duration can hold every resource on the from→to route
+	// simultaneously. It reserves nothing.
+	TransferStart(from, to int, ready, dur float64) float64
+	// Reserve commits a transfer on every resource of the from→to route.
+	// Reservations with dur <= 0 are ignored. Overlapping a prior
+	// reservation panics: callers must reserve only starts obtained from
+	// TransferStart against the current state.
+	Reserve(from, to int, start, dur float64)
+	// Mark returns the journal position; Undo(m) removes every reservation
+	// made after Mark returned m, in LIFO order.
+	Mark() int
+	Undo(mark int)
+	// Clone returns an independent deep copy whose journal baseline is the
+	// clone point: Undo(0) on the clone restores exactly this state.
+	Clone() CommState
+	// Busy returns the total reserved time per resource (resource indexing
+	// is model-specific; the one-port model uses send ports 0..P-1 then
+	// receive ports P..2P-1).
+	Busy() []float64
+}
+
+// ModelKinds lists the registered model kinds in presentation order.
+func ModelKinds() []string {
+	return []string{KindContentionFree, KindOnePort, KindSharedLink}
+}
+
+// ModelByKind builds the named model with its default configuration over
+// sys. The empty kind means contention-free; shared-link defaults to a
+// single unit-bandwidth bus shared by every processor (use NewSharedLink
+// for custom topologies).
+func ModelByKind(kind string, sys *System) (CommModel, error) {
+	switch kind {
+	case "", KindContentionFree:
+		return ContentionFree(sys), nil
+	case KindOnePort:
+		return OnePort(sys), nil
+	case KindSharedLink:
+		return NewSharedLink(sys, SharedLinkConfig{})
+	default:
+		return nil, fmt.Errorf("platform: unknown comm model %q (have %v)", kind, ModelKinds())
+	}
+}
+
+// ContentionFree returns the classic fully connected contention-free
+// model: costs are the System matrices and transfers never serialize.
+func ContentionFree(sys *System) CommModel { return contentionFree{sys} }
+
+type contentionFree struct{ sys *System }
+
+func (m contentionFree) Kind() string                         { return KindContentionFree }
+func (m contentionFree) Cost(from, to int, data float64) float64 { return m.sys.CommCost(from, to, data) }
+func (m contentionFree) MeanCost(data float64) float64        { return m.sys.MeanCommCost(data) }
+func (m contentionFree) NewState() CommState                  { return nil }
+
+// OnePort returns the one-port contention model in the spirit of Sinnen
+// and Sousa: idle-network costs equal the contention-free matrices, but
+// every processor has a single send port and a single receive port and
+// inter-processor transfers serialize on both.
+func OnePort(sys *System) CommModel { return onePort{sys} }
+
+type onePort struct{ sys *System }
+
+func (m onePort) Kind() string                            { return KindOnePort }
+func (m onePort) Cost(from, to int, data float64) float64 { return m.sys.CommCost(from, to, data) }
+func (m onePort) MeanCost(data float64) float64           { return m.sys.MeanCommCost(data) }
+
+func (m onePort) NewState() CommState {
+	p := m.sys.Len()
+	return &linkState{
+		spans: make([]spanList, 2*p),
+		route: func(from, to int) (int, int) { return from, p + to },
+	}
+}
+
+// SharedLinkConfig describes a bus topology for NewSharedLink.
+type SharedLinkConfig struct {
+	// ProcLink[p] is the link (bus) processor p attaches to. Nil attaches
+	// every processor to link 0: one bus shared by the whole system.
+	ProcLink []int
+	// Bandwidth[l] is the relative bandwidth of link l; missing entries
+	// default to 1. The data term of a transfer is divided by the smallest
+	// bandwidth on its route (startup is unaffected).
+	Bandwidth []float64
+}
+
+// NewSharedLink builds the shared-link topology model: processors attach
+// to buses, a transfer occupies every bus on its route (source's and
+// destination's, one bus when they share it) for its whole duration, and
+// per-link bandwidth rescales the data term of the cost.
+func NewSharedLink(sys *System, cfg SharedLinkConfig) (CommModel, error) {
+	p := sys.Len()
+	link := cfg.ProcLink
+	if link == nil {
+		link = make([]int, p)
+	}
+	if len(link) != p {
+		return nil, fmt.Errorf("platform: proc-link map has %d entries, want %d", len(link), p)
+	}
+	links := len(cfg.Bandwidth)
+	for i, l := range link {
+		if l < 0 {
+			return nil, fmt.Errorf("platform: processor %d on negative link %d", i, l)
+		}
+		if l+1 > links {
+			links = l + 1
+		}
+	}
+	bw := make([]float64, links)
+	for l := range bw {
+		bw[l] = 1
+	}
+	for l, b := range cfg.Bandwidth {
+		if b <= 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("platform: link %d has invalid bandwidth %g", l, b)
+		}
+		bw[l] = b
+	}
+	return &sharedLink{sys: sys, link: append([]int(nil), link...), bw: bw}, nil
+}
+
+type sharedLink struct {
+	sys  *System
+	link []int     // link id per processor
+	bw   []float64 // bandwidth per link
+}
+
+func (m *sharedLink) Kind() string { return KindSharedLink }
+
+func (m *sharedLink) Cost(from, to int, data float64) float64 {
+	if from == to {
+		return 0
+	}
+	bw := m.bw[m.link[from]]
+	if b := m.bw[m.link[to]]; b < bw {
+		bw = b
+	}
+	return m.sys.Startup(from, to) + data*m.sys.InvRate(from, to)/bw
+}
+
+func (m *sharedLink) MeanCost(data float64) float64 {
+	p := m.sys.Len()
+	if p < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				sum += m.Cost(i, j, data)
+			}
+		}
+	}
+	return sum / float64(p*(p-1))
+}
+
+func (m *sharedLink) NewState() CommState {
+	link := m.link
+	return &linkState{
+		spans: make([]spanList, len(m.bw)),
+		route: func(from, to int) (int, int) {
+			a, b := link[from], link[to]
+			if a == b {
+				return a, -1
+			}
+			return a, b
+		},
+	}
+}
+
+// spanList is a sorted list of disjoint busy intervals on one resource.
+type spanList []span
+
+type span struct{ s, e float64 }
+
+const spanEps = 1e-9
+
+// earliestFrom returns the earliest start >= t at which an interval of
+// length dur fits between the busy spans.
+func (sp spanList) earliestFrom(t, dur float64) float64 {
+	for _, iv := range sp {
+		if t+dur <= iv.s+spanEps {
+			return t
+		}
+		if iv.e > t {
+			t = iv.e
+		}
+	}
+	return t
+}
+
+// insert adds [s, e) keeping the list sorted. Overlaps indicate a caller
+// bug and panic.
+func (sp *spanList) insert(s, e float64) {
+	list := *sp
+	k := len(list)
+	for k > 0 && list[k-1].s > s {
+		k--
+	}
+	if k > 0 && list[k-1].e > s+spanEps {
+		panic("platform: overlapping link reservation")
+	}
+	if k < len(list) && e > list[k].s+spanEps {
+		panic("platform: overlapping link reservation")
+	}
+	list = append(list, span{})
+	copy(list[k+1:], list[k:])
+	list[k] = span{s, e}
+	*sp = list
+}
+
+// remove deletes the exact span [s, e); it panics when absent, which only
+// an out-of-order Undo could cause.
+func (sp *spanList) remove(s, e float64) {
+	list := *sp
+	k := sort.Search(len(list), func(i int) bool { return list[i].s >= s })
+	if k == len(list) || list[k].s != s || list[k].e != e {
+		panic("platform: undo of unknown link reservation")
+	}
+	*sp = append(list[:k], list[k+1:]...)
+}
+
+// linkState is the shared reservation engine behind every contended
+// model: a busy-span list per resource and a route function mapping a
+// processor pair to the (at most two) resources its transfers occupy.
+type linkState struct {
+	spans []spanList
+	route func(from, to int) (int, int) // second resource -1 when absent
+	log   []resSpan                     // journal for Mark/Undo
+}
+
+type resSpan struct {
+	res  int
+	s, e float64
+}
+
+// TransferStart alternates between the route's resources until a start
+// fits both; each iteration advances t past a busy span, so it converges
+// to the earliest feasible start.
+func (st *linkState) TransferStart(from, to int, ready, dur float64) float64 {
+	a, b := st.route(from, to)
+	t := ready
+	for {
+		t1 := st.spans[a].earliestFrom(t, dur)
+		if b < 0 {
+			return t1
+		}
+		t2 := st.spans[b].earliestFrom(t1, dur)
+		if t2 == t1 {
+			return t1
+		}
+		t = t2
+	}
+}
+
+func (st *linkState) Reserve(from, to int, start, dur float64) {
+	if dur <= 0 {
+		return
+	}
+	a, b := st.route(from, to)
+	st.spans[a].insert(start, start+dur)
+	st.log = append(st.log, resSpan{a, start, start + dur})
+	if b >= 0 {
+		st.spans[b].insert(start, start+dur)
+		st.log = append(st.log, resSpan{b, start, start + dur})
+	}
+}
+
+func (st *linkState) Mark() int { return len(st.log) }
+
+func (st *linkState) Undo(mark int) {
+	for len(st.log) > mark {
+		r := st.log[len(st.log)-1]
+		st.log = st.log[:len(st.log)-1]
+		st.spans[r.res].remove(r.s, r.e)
+	}
+}
+
+func (st *linkState) Clone() CommState {
+	cp := &linkState{spans: make([]spanList, len(st.spans)), route: st.route}
+	for i := range st.spans {
+		if len(st.spans[i]) > 0 {
+			cp.spans[i] = append(spanList(nil), st.spans[i]...)
+		}
+	}
+	return cp
+}
+
+func (st *linkState) Busy() []float64 {
+	out := make([]float64, len(st.spans))
+	for i, sp := range st.spans {
+		for _, iv := range sp {
+			out[i] += iv.e - iv.s
+		}
+	}
+	return out
+}

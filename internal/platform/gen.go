@@ -16,16 +16,34 @@ type GenConfig struct {
 	// Latency and TimePerUnit configure every link, as in Config.
 	Latency     float64
 	TimePerUnit float64
+	// StartupSpread makes startup latencies link-heterogeneous: each
+	// directed link's startup is drawn uniformly from
+	// Latency·[1−s/2, 1+s/2] (mean Latency). Must lie in [0, 2); 0 keeps
+	// the uniform latency and draws nothing from rng.
+	StartupSpread float64
+	// LinkSpread does the same for transfer rates: each directed link's
+	// time-per-unit is drawn uniformly from TimePerUnit·[1−s/2, 1+s/2].
+	// Must lie in [0, 2); 0 keeps uniform links and draws nothing.
+	LinkSpread float64
 }
 
 // Generate draws a System from cfg using rng. The draw is deterministic
-// for a fixed seed.
+// for a fixed seed: speeds first, then the startup matrix rows, then the
+// inverse-rate rows; a zero spread skips its draws entirely, so configs
+// that only set the pre-existing knobs reproduce their old systems
+// bit-for-bit.
 func Generate(cfg GenConfig, rng *rand.Rand) (*System, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("platform: invalid processor count %d", cfg.Procs)
 	}
 	if cfg.SpeedHeterogeneity < 0 || cfg.SpeedHeterogeneity >= 2 {
 		return nil, fmt.Errorf("platform: speed heterogeneity %g out of [0,2)", cfg.SpeedHeterogeneity)
+	}
+	if cfg.StartupSpread < 0 || cfg.StartupSpread >= 2 {
+		return nil, fmt.Errorf("platform: startup spread %g out of [0,2)", cfg.StartupSpread)
+	}
+	if cfg.LinkSpread < 0 || cfg.LinkSpread >= 2 {
+		return nil, fmt.Errorf("platform: link spread %g out of [0,2)", cfg.LinkSpread)
 	}
 	speeds := make([]float64, cfg.Procs)
 	for i := range speeds {
@@ -35,5 +53,26 @@ func Generate(cfg GenConfig, rng *rand.Rand) (*System, error) {
 			speeds[i] = 1 + cfg.SpeedHeterogeneity*(rng.Float64()-0.5)
 		}
 	}
-	return New(Config{Speeds: speeds, Latency: cfg.Latency, TimePerUnit: cfg.TimePerUnit})
+	c := Config{Speeds: speeds, Latency: cfg.Latency, TimePerUnit: cfg.TimePerUnit}
+	c.StartupMatrix = spreadMatrix(cfg.Procs, cfg.Latency, cfg.StartupSpread, rng)
+	c.InvRateMatrix = spreadMatrix(cfg.Procs, cfg.TimePerUnit, cfg.LinkSpread, rng)
+	return New(c)
+}
+
+// spreadMatrix draws a per-pair matrix with mean value and the given
+// relative spread, or nil when spread is 0 (consuming nothing from rng).
+func spreadMatrix(p int, value, spread float64, rng *rand.Rand) [][]float64 {
+	if spread == 0 {
+		return nil
+	}
+	m := make([][]float64, p)
+	for i := range m {
+		m[i] = make([]float64, p)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = value * (1 + spread*(rng.Float64()-0.5))
+			}
+		}
+	}
+	return m
 }

@@ -8,6 +8,7 @@ package platform
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Processor is one processing element. Speed is relative to a reference
@@ -73,6 +74,16 @@ func New(cfg Config) (*System, error) {
 	sys.invRate, err = fullMatrix(p, cfg.TimePerUnit, cfg.InvRateMatrix, "inverse-rate")
 	if err != nil {
 		return nil, err
+	}
+	// Individually valid entries can still overflow the unit-message cost
+	// (startup + inverse rate); a system whose links cost +Inf poisons
+	// every downstream computation and cannot be re-serialized.
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if c := sys.startup[i][j] + sys.invRate[i][j]; math.IsInf(c, 1) || math.IsNaN(c) {
+				return nil, fmt.Errorf("platform: link (%d,%d) unit cost overflows: startup %g + inverse rate %g", i, j, sys.startup[i][j], sys.invRate[i][j])
+			}
+		}
 	}
 	return sys, nil
 }
@@ -145,6 +156,14 @@ func (s *System) Procs() []Processor {
 
 // Speed returns the relative speed of processor p.
 func (s *System) Speed(p int) float64 { return s.procs[p].Speed }
+
+// Startup returns the per-message startup latency of link p→q (0 on the
+// diagonal).
+func (s *System) Startup(p, q int) float64 { return s.startup[p][q] }
+
+// InvRate returns the per-data-unit transfer time of link p→q (0 on the
+// diagonal).
+func (s *System) InvRate(p, q int) float64 { return s.invRate[p][q] }
 
 // CommCost returns the time to transfer data units from processor p to q:
 // zero when p == q, otherwise startup + data * invRate.

@@ -95,14 +95,14 @@ func Analyze(s *Schedule) Analysis {
 			bestArr := math.Inf(1)
 			var bestCopy Assignment
 			for _, c := range s.Copies(r.task) {
-				if t := c.Finish + in.Sys.CommCost(c.Proc, cons.Proc, a.Data); t < bestArr {
+				if t := c.Finish + in.CommCost(c.Proc, cons.Proc, a.Data); t < bestArr {
 					bestArr, bestCopy = t, c
 				}
 			}
 			if bestCopy.Dup || bestCopy.Start != prim.Start || bestCopy.Proc != prim.Proc {
 				continue // served by a duplicate; the primary may slide
 			}
-			comm := in.Sys.CommCost(prim.Proc, cons.Proc, a.Data)
+			comm := in.CommCost(prim.Proc, cons.Proc, a.Data)
 			// The consumer itself may slide to latest[a.To].
 			limit := latest[a.To] - in.Cost(a.To, cons.Proc) - comm
 			// But never beyond the consumer's actual start either — the

@@ -1,0 +1,277 @@
+package sched
+
+import (
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+// fanOut builds a(1) -> {b(1), c(1)} with 4 data units per edge on a
+// 2-processor unit system: with the one-port model the two transfers to
+// the remote processor must serialize.
+func fanOutInstance(t *testing.T) *Instance {
+	t.Helper()
+	b := dag.NewBuilder("fan")
+	a := b.AddTask("a", 1)
+	x := b.AddTask("b", 1)
+	y := b.AddTask("c", 1)
+	b.AddEdge(a, x, 4)
+	b.AddEdge(a, y, 4)
+	return Consistent(b.MustBuild(), platform.Homogeneous(2, 0, 1))
+}
+
+func TestWithCommDefaultsAndKinds(t *testing.T) {
+	in := fanOutInstance(t)
+	if in.CommModel() != nil || in.CommKind() != platform.KindContentionFree {
+		t.Fatalf("default comm = %v/%q", in.CommModel(), in.CommKind())
+	}
+	op, _ := platform.ModelByKind(platform.KindOnePort, in.Sys)
+	bound := in.WithComm(op)
+	if bound.CommKind() != platform.KindOnePort || in.CommModel() != nil {
+		t.Fatal("WithComm mutated the receiver or dropped the model")
+	}
+	// One-port idle costs equal the matrices: every cached stat matches.
+	if bound.MeanComm(0, 1) != in.MeanComm(0, 1) || bound.CCR() != in.CCR() {
+		t.Fatal("one-port rank caches diverge from contention-free")
+	}
+	if bound.CommCost(0, 1, 4) != in.Sys.CommCost(0, 1, 4) {
+		t.Fatal("CommCost diverges")
+	}
+	// An explicit contention-free model is inert: no reservation state.
+	if pl := NewPlan(in.WithComm(platform.ContentionFree(in.Sys))); pl.CommState() != nil {
+		t.Fatal("contention-free model produced a comm state")
+	}
+}
+
+func TestPlanContendedDataReadyAndPlace(t *testing.T) {
+	in := fanOutInstance(t)
+	op, _ := platform.ModelByKind(platform.KindOnePort, in.Sys)
+	pl := NewPlan(in.WithComm(op))
+	if pl.CommState() == nil {
+		t.Fatal("no comm state under one-port")
+	}
+	pl.Place(0, 0, 0) // a on P0, [0,1)
+
+	// Estimates do not reserve.
+	if got := pl.DataReady(1, 1); got != 5 {
+		t.Fatalf("DataReady(b,P1) = %g, want 5", got)
+	}
+	if m := pl.CommState().Mark(); m != 0 {
+		t.Fatalf("estimate journaled %d reservations", m)
+	}
+	e0 := pl.commEpoch
+
+	pl.Place(1, 1, 5) // b on P1: commits the transfer [1,5)
+	if pl.commEpoch == e0 {
+		t.Fatal("committed reservation did not bump commEpoch")
+	}
+	busy := pl.CommState().Busy()
+	if busy[0] != 4 || busy[2+1] != 4 {
+		t.Fatalf("port busy = %v, want send0=4 recv1=4", busy)
+	}
+	// The second transfer now queues behind the first on both ports.
+	if got := pl.DataReady(2, 1); got != 9 {
+		t.Fatalf("DataReady(c,P1) = %g, want 9 (serialized)", got)
+	}
+	if got := pl.DataReady(2, 0); got != 1 {
+		t.Fatalf("DataReady(c,P0) = %g, want 1 (local)", got)
+	}
+	// A local placement reserves nothing.
+	e1 := pl.commEpoch
+	pl.Place(2, 0, 1)
+	if pl.commEpoch != e1 {
+		t.Fatal("local placement bumped commEpoch")
+	}
+}
+
+// Place under contention must never start earlier than the caller's
+// estimate, even when the caller's start was computed before rival
+// reservations landed.
+func TestPlanContendedPlaceNeverEarlier(t *testing.T) {
+	in := fanOutInstance(t)
+	op, _ := platform.ModelByKind(platform.KindOnePort, in.Sys)
+	pl := NewPlan(in.WithComm(op))
+	pl.Place(0, 0, 0)
+	// Estimate b's start on P1 first, then place c's transfer ahead of it.
+	s1, _ := pl.EFTOn(1, 1, true)
+	pl.Place(2, 1, pl.DataReady(2, 1)) // c grabs the ports [1,5)
+	a := pl.Place(1, 1, s1)
+	if a.Start < s1 {
+		t.Fatalf("committed start %g earlier than estimate %g", a.Start, s1)
+	}
+	if a.Start != 9 {
+		t.Fatalf("b start = %g, want 9 (behind c's transfer)", a.Start)
+	}
+}
+
+func TestTxnContendedTrialUndoCommit(t *testing.T) {
+	in := fanOutInstance(t)
+	op, _ := platform.ModelByKind(platform.KindOnePort, in.Sys)
+	pl := NewPlan(in.WithComm(op))
+	pl.Place(0, 0, 0)
+	base := pl.CommState()
+
+	tx := pl.Begin()
+	// Estimates before any speculative write read the frozen base state.
+	if got := tx.DataReady(1, 1); got != 5 {
+		t.Fatalf("txn DataReady = %g, want 5", got)
+	}
+	m := tx.Mark()
+	tx.Place(1, 1, 5)
+	if got := tx.DataReady(2, 1); got != 9 {
+		t.Fatalf("txn sees own reservation: DataReady = %g, want 9", got)
+	}
+	// The base plan never sees speculative reservations.
+	if got := pl.DataReady(1, 1); got != 5 {
+		t.Fatalf("base DataReady = %g after speculative place", got)
+	}
+	if base.Mark() != 0 {
+		t.Fatal("speculative reservation leaked into the base state")
+	}
+
+	// Undo rewinds the reservations exactly.
+	tx.Undo(m)
+	if got := tx.DataReady(2, 1); got != 5 {
+		t.Fatalf("after Undo, txn DataReady = %g, want 5", got)
+	}
+
+	// Re-place and commit: the base adopts the reservations.
+	tx.Place(1, 1, 5)
+	tx.Commit()
+	if got := pl.DataReady(2, 1); got != 9 {
+		t.Fatalf("after Commit, base DataReady = %g, want 9", got)
+	}
+	if pl.CommState().Busy()[0] != 4 {
+		t.Fatalf("send port busy = %v", pl.CommState().Busy())
+	}
+}
+
+func TestTxnContendedRollbackAndReset(t *testing.T) {
+	in := fanOutInstance(t)
+	op, _ := platform.ModelByKind(platform.KindOnePort, in.Sys)
+	pl := NewPlan(in.WithComm(op))
+	pl.Place(0, 0, 0)
+
+	tx := pl.Begin()
+	tx.Place(1, 1, 5)
+	tx.Rollback()
+	if got := pl.DataReady(1, 1); got != 5 {
+		t.Fatalf("rollback leaked: base DataReady = %g", got)
+	}
+
+	// Reset keeps the clone while the base's reservations are unchanged…
+	tx = pl.Begin()
+	tx.Place(1, 1, 5)
+	tx.Reset()
+	if tx.comm == nil {
+		t.Fatal("Reset dropped a still-exact comm clone")
+	}
+	if got := tx.DataReady(1, 1); got != 5 {
+		t.Fatalf("after Reset, txn DataReady = %g, want 5", got)
+	}
+	// …and drops it once the base moves on.
+	pl.Place(1, 1, 5) // bumps commEpoch
+	tx.Reset()
+	if tx.comm != nil {
+		t.Fatal("Reset kept a stale comm clone")
+	}
+	if got := tx.DataReady(2, 1); got != 9 {
+		t.Fatalf("reset txn DataReady = %g, want 9 (base reservations)", got)
+	}
+}
+
+func TestTxnConcurrentContendedTrials(t *testing.T) {
+	in := fanOutInstance(t)
+	op, _ := platform.ModelByKind(platform.KindOnePort, in.Sys)
+	pl := NewPlan(in.WithComm(op))
+	pl.Place(0, 0, 0)
+
+	// Two trials from the same frozen base, evaluated in parallel: each
+	// owns its clone; the winner commits.
+	txs := []*Txn{pl.Begin(), pl.Begin()}
+	done := make(chan int, len(txs))
+	for k, tx := range txs {
+		go func(k int, tx *Txn) {
+			p := k // trial processor
+			start := tx.FindSlot(p, tx.DataReady(1, p), in.Cost(1, p), true)
+			tx.Place(1, p, start)
+			done <- k
+		}(k, tx)
+	}
+	for range txs {
+		<-done
+	}
+	// P0 is local (start 1), P1 pays the contended transfer (start 5).
+	if s := txs[0].Copies(1)[0].Start; s != 1 {
+		t.Fatalf("P0 trial start = %g, want 1", s)
+	}
+	if s := txs[1].Copies(1)[0].Start; s != 5 {
+		t.Fatalf("P1 trial start = %g, want 5", s)
+	}
+	txs[0].Commit()
+	txs[1].Rollback()
+	if got := pl.Makespan(); got != 2 {
+		t.Fatalf("makespan = %g, want 2", got)
+	}
+}
+
+func TestPlanCloneIndependentCommState(t *testing.T) {
+	in := fanOutInstance(t)
+	op, _ := platform.ModelByKind(platform.KindOnePort, in.Sys)
+	pl := NewPlan(in.WithComm(op))
+	pl.Place(0, 0, 0)
+	cp := pl.Clone()
+	cp.Place(1, 1, 5)
+	if got := pl.DataReady(1, 1); got != 5 {
+		t.Fatalf("clone reservation leaked into original: DataReady = %g", got)
+	}
+	if got := cp.DataReady(2, 1); got != 9 {
+		t.Fatalf("clone DataReady = %g, want 9", got)
+	}
+}
+
+func TestSharedLinkSerializesSiblingTransfers(t *testing.T) {
+	in := fanOutInstance(t)
+	sl, err := platform.NewSharedLink(in.Sys, platform.SharedLinkConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlan(in.WithComm(sl))
+	pl.Place(0, 0, 0)
+	pl.Place(1, 1, pl.DataReady(1, 1))
+	// On one shared bus the second transfer waits even toward P0-local…
+	if got := pl.DataReady(2, 1); got != 9 {
+		t.Fatalf("shared-link DataReady = %g, want 9", got)
+	}
+	// …while local data still needs no bus at all.
+	if got := pl.DataReady(2, 0); got != 1 {
+		t.Fatalf("local DataReady = %g, want 1", got)
+	}
+}
+
+func TestValidateUsesModelCosts(t *testing.T) {
+	// Under a half-bandwidth shared link, transfers take twice as long; a
+	// schedule built contention-free must fail the contended validator.
+	in := fanOutInstance(t)
+	sl, err := platform.NewSharedLink(in.Sys, platform.SharedLinkConfig{Bandwidth: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPlan(in)
+	pl.Place(0, 0, 0)
+	pl.Place(1, 1, 5) // legal contention-free (arrival 5)
+	pl.Place(2, 0, 1)
+	s := pl.Finalize("test")
+	if err := s.Validate(); err != nil {
+		t.Fatalf("contention-free validation: %v", err)
+	}
+	bound := in.WithComm(sl)
+	if got := bound.CommCost(0, 1, 4); got != 8 {
+		t.Fatalf("shared-link cost = %g, want 8", got)
+	}
+	sb := buildSchedule(bound, "test", s.procs)
+	if err := sb.Validate(); err == nil {
+		t.Fatal("schedule valid under half-bandwidth model, want data-arrival violation")
+	}
+}

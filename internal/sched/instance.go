@@ -20,6 +20,12 @@ type Instance struct {
 	Sys *platform.System
 	W   [][]float64
 
+	// comm is the pluggable communication model; nil means the classic
+	// contention-free model backed directly by Sys — the default every
+	// constructor produces, with code paths bit-identical to the
+	// pre-CommModel implementation. Set via WithComm.
+	comm platform.CommModel
+
 	meanW  []float64
 	sigmaW []float64
 	// Per-edge mean communication costs, memoized per adjacency entry
@@ -80,7 +86,7 @@ func (in *Instance) cacheStats() {
 		if len(succ) > 0 {
 			row := make([]float64, len(succ))
 			for j, a := range succ {
-				row[j] = in.Sys.MeanCommCost(a.Data)
+				row[j] = in.MeanCommData(a.Data)
 			}
 			in.meanCommSucc[i] = row
 		}
@@ -88,7 +94,7 @@ func (in *Instance) cacheStats() {
 		if len(pred) > 0 {
 			row := make([]float64, len(pred))
 			for j, a := range pred {
-				row[j] = in.Sys.MeanCommCost(a.Data)
+				row[j] = in.MeanCommData(a.Data)
 			}
 			in.meanCommPred[i] = row
 		}
@@ -162,6 +168,40 @@ func (in *Instance) MinCost(i dag.TaskID) (float64, int) {
 	return best, arg
 }
 
+// WithComm returns a shallow copy of the instance scheduled under the
+// given communication model (nil restores the default contention-free
+// model). The graph, system and cost matrix are shared; the mean-comm
+// caches are rebuilt through the model so rank computations see its
+// costs.
+func (in *Instance) WithComm(m platform.CommModel) *Instance {
+	cp := *in
+	cp.comm = m
+	cp.cacheStats()
+	return &cp
+}
+
+// CommModel returns the instance's communication model, nil when it is
+// the default contention-free model.
+func (in *Instance) CommModel() platform.CommModel { return in.comm }
+
+// CommKind returns the registry kind of the instance's communication
+// model ("contention-free" for the nil default).
+func (in *Instance) CommKind() string {
+	if in.comm == nil {
+		return platform.KindContentionFree
+	}
+	return in.comm.Kind()
+}
+
+// CommCost returns the idle-network time to move data units from
+// processor p to q under the instance's communication model.
+func (in *Instance) CommCost(p, q int, data float64) float64 {
+	if in.comm == nil {
+		return in.Sys.CommCost(p, q, data)
+	}
+	return in.comm.Cost(p, q, data)
+}
+
 // Comm returns the communication cost of edge (from, to) when the tasks
 // run on processors p and q: zero if p == q or no such edge exists.
 func (in *Instance) Comm(from, to dag.TaskID, p, q int) float64 {
@@ -172,7 +212,7 @@ func (in *Instance) Comm(from, to dag.TaskID, p, q int) float64 {
 	if !ok {
 		return 0
 	}
-	return in.Sys.CommCost(p, q, data)
+	return in.CommCost(p, q, data)
 }
 
 // MeanComm returns the average communication cost of edge (from, to) over
@@ -182,13 +222,16 @@ func (in *Instance) MeanComm(from, to dag.TaskID) float64 {
 	if !ok {
 		return 0
 	}
-	return in.Sys.MeanCommCost(data)
+	return in.MeanCommData(data)
 }
 
 // MeanCommData returns the average communication cost of moving data units
 // between two distinct processors.
 func (in *Instance) MeanCommData(data float64) float64 {
-	return in.Sys.MeanCommCost(data)
+	if in.comm == nil {
+		return in.Sys.MeanCommCost(data)
+	}
+	return in.comm.MeanCost(data)
 }
 
 // MeanCommSucc returns the mean communication cost of the j-th outgoing

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"dagsched/internal/dag"
+	"dagsched/internal/platform"
 	"dagsched/internal/sched/timeline"
 )
 
@@ -39,6 +40,16 @@ type Plan struct {
 	// gap-index snapshots are still exact and can be reused without
 	// re-copying treap nodes.
 	procEpoch []uint64
+	// comm holds the contended-network reservation state when the
+	// instance's communication model has one (nil on the default
+	// contention-free path, leaving every hot path untouched). DataReady
+	// then answers contention-aware earliest arrivals, and Place/PlaceDup
+	// commit the chosen transfers' reservations.
+	comm platform.CommState
+	// commEpoch counts committed comm reservations the way procEpoch
+	// counts timeline mutations; Txn.Reset uses it to tell whether a
+	// cloned comm state still mirrors the base.
+	commEpoch uint64
 }
 
 // NewPlan returns an empty plan for the instance.
@@ -55,8 +66,16 @@ func NewPlan(in *Instance) *Plan {
 		pl.blockedFrom[p] = math.Inf(1)
 		pl.gaps[p] = timeline.New(slotEps)
 	}
+	if in.comm != nil {
+		pl.comm = in.comm.NewState()
+	}
 	return pl
 }
+
+// CommState exposes the plan's network reservation state (nil under the
+// contention-free model); tests and PortSchedule-style reporting read its
+// Busy totals.
+func (pl *Plan) CommState() platform.CommState { return pl.comm }
 
 // BlockProc marks processor p unavailable from the given time onward:
 // FindSlot (and therefore every EFT query) will never return a slot whose
@@ -114,7 +133,13 @@ func (pl *Plan) ProcReady(p int) float64 {
 // DataReady returns the earliest time all input data of task i is
 // available on processor p, taking the best copy of every predecessor.
 // Entry tasks are ready at time 0. It panics if a predecessor has no copy.
+// Under a contended communication model the arrival of each transfer
+// accounts for the network resources already reserved by placed tasks
+// (without reserving anything itself — Place commits reservations).
 func (pl *Plan) DataReady(i dag.TaskID, p int) float64 {
+	if pl.comm != nil {
+		return commReady(pl, pl.comm, i, p, false)
+	}
 	ready := 0.0
 	for _, pe := range pl.in.G.Pred(i) {
 		copies := pl.byTask[pe.To]
@@ -123,12 +148,60 @@ func (pl *Plan) DataReady(i dag.TaskID, p int) float64 {
 		}
 		arrival := math.Inf(1)
 		for _, c := range copies {
-			if t := c.Finish + pl.in.Sys.CommCost(c.Proc, p, pe.Data); t < arrival {
+			if t := c.Finish + pl.in.CommCost(c.Proc, p, pe.Data); t < arrival {
 				arrival = t
 			}
 		}
 		if arrival > ready {
 			ready = arrival
+		}
+	}
+	return ready
+}
+
+// commReady is the contended counterpart of the DataReady loop, shared by
+// Plan and Txn: the earliest time all input data of task i is available
+// on processor p, with every inter-processor transfer queried against the
+// reservation state st. Per predecessor it takes the copy with the
+// earliest contended arrival; local copies and zero-cost transfers arrive
+// at the copy's finish. With reserve set, the winning transfer of each
+// predecessor is committed before the next predecessor is examined, so
+// the task's own inputs serialize correctly too.
+func commReady(v View, st platform.CommState, i dag.TaskID, p int, reserve bool) float64 {
+	in := v.Instance()
+	ready := 0.0
+	for _, pe := range in.G.Pred(i) {
+		copies := v.Copies(pe.To)
+		if len(copies) == 0 {
+			panic(fmt.Sprintf("sched: task %d scheduled before predecessor %d", i, pe.To))
+		}
+		best := math.Inf(1)
+		bestProc := -1
+		bestStart, bestDur := 0.0, 0.0
+		for _, c := range copies {
+			if c.Proc == p {
+				if c.Finish < best {
+					best, bestProc = c.Finish, p
+				}
+				continue
+			}
+			dur := in.CommCost(c.Proc, p, pe.Data)
+			if dur == 0 {
+				if c.Finish < best {
+					best, bestProc = c.Finish, p
+				}
+				continue
+			}
+			start := st.TransferStart(c.Proc, p, c.Finish, dur)
+			if start+dur < best {
+				best, bestProc, bestStart, bestDur = start+dur, c.Proc, start, dur
+			}
+		}
+		if reserve && bestProc != -1 && bestProc != p && bestDur > 0 {
+			st.Reserve(bestProc, p, bestStart, bestDur)
+		}
+		if best > ready {
+			ready = best
 		}
 	}
 	return ready
@@ -202,9 +275,17 @@ func (pl *Plan) BestEFT(i dag.TaskID, insertion bool) (proc int, start, finish f
 // Place assigns the primary copy of task i to processor p at the given
 // start time. It does not re-derive start: algorithms decide placement,
 // the plan records it. It panics if the task is already scheduled.
+//
+// Under a contended communication model Place first commits the port
+// reservations of the task's input transfers and re-derives the start —
+// never earlier than the caller's — against the committed network state,
+// exactly as the caller's estimate did against the uncommitted one.
 func (pl *Plan) Place(i dag.TaskID, p int, start float64) Assignment {
 	if pl.Scheduled(i) {
 		panic(fmt.Sprintf("sched: task %d placed twice", i))
+	}
+	if pl.comm != nil {
+		start = pl.commitComm(i, p, start)
 	}
 	a := Assignment{Task: i, Proc: p, Start: start, Finish: start + pl.in.Cost(i, p)}
 	pl.insert(a)
@@ -213,14 +294,34 @@ func (pl *Plan) Place(i dag.TaskID, p int, start float64) Assignment {
 }
 
 // PlaceDup adds a duplicate copy of task i on processor p. The task's
-// primary copy must already exist.
+// primary copy must already exist. Under a contended model the copy's
+// input transfers are reserved like a primary's.
 func (pl *Plan) PlaceDup(i dag.TaskID, p int, start float64) Assignment {
 	if !pl.Scheduled(i) {
 		panic(fmt.Sprintf("sched: duplicating unscheduled task %d", i))
 	}
+	if pl.comm != nil {
+		start = pl.commitComm(i, p, start)
+	}
 	a := Assignment{Task: i, Proc: p, Start: start, Finish: start + pl.in.Cost(i, p), Dup: true}
 	pl.insert(a)
 	return a
+}
+
+// commitComm reserves task i's input transfers toward processor p and
+// returns the placement start re-derived against the reserved network:
+// the earliest slot at or after both the caller's start and the committed
+// data-ready time.
+func (pl *Plan) commitComm(i dag.TaskID, p int, start float64) float64 {
+	m := pl.comm.Mark()
+	ready := commReady(pl, pl.comm, i, p, true)
+	if start > ready {
+		ready = start
+	}
+	if pl.comm.Mark() != m {
+		pl.commEpoch++
+	}
+	return pl.FindSlot(p, ready, pl.in.Cost(i, p), true)
 }
 
 func (pl *Plan) insert(a Assignment) {
@@ -263,6 +364,10 @@ func (pl *Plan) Clone() *Plan {
 		blockedFrom: append([]float64(nil), pl.blockedFrom...),
 		gaps:        make([]*timeline.GapIndex, len(pl.gaps)),
 		procEpoch:   make([]uint64, len(pl.gaps)),
+		commEpoch:   pl.commEpoch,
+	}
+	if pl.comm != nil {
+		cp.comm = pl.comm.Clone()
 	}
 	for p := range pl.procs {
 		cp.procs[p] = append([]Assignment(nil), pl.procs[p]...)

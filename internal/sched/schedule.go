@@ -80,6 +80,16 @@ func (s *Schedule) String() string {
 		s.algorithm, s.makespan, s.NumCopies(), len(s.procs))
 }
 
+// Renamed returns a copy of the schedule attributed to a different
+// algorithm name, sharing all placement data. Wrappers that delegate to
+// an inner algorithm (algo.CommAware) use it to keep their registry name
+// on the result.
+func (s *Schedule) Renamed(algorithm string) *Schedule {
+	cp := *s
+	cp.algorithm = algorithm
+	return &cp
+}
+
 // Validate re-checks every structural and temporal constraint of the
 // schedule against its instance. It is the single source of truth used by
 // tests, the simulator and the CLI tools. A nil return means the schedule
@@ -132,7 +142,7 @@ func (s *Schedule) Validate() error {
 			for _, pe := range in.G.Pred(dag.TaskID(i)) {
 				arrival := math.Inf(1)
 				for _, pc := range s.byTask[pe.To] {
-					t := pc.Finish + in.Sys.CommCost(pc.Proc, c.Proc, pe.Data)
+					t := pc.Finish + in.CommCost(pc.Proc, c.Proc, pe.Data)
 					if t < arrival {
 						arrival = t
 					}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"dagsched/internal/dag"
+	"dagsched/internal/platform"
 	"dagsched/internal/sched/timeline"
 )
 
@@ -70,6 +71,15 @@ type Txn struct {
 	// same processor mutate privately-owned treap nodes in place instead
 	// of re-copying paths out of the base index every round.
 	srcEpoch []uint64
+	// comm is the speculative network reservation state under a contended
+	// communication model: cloned from the base plan's state on the first
+	// speculative placement (reads before that query the frozen base state
+	// directly — TransferStart is a pure query). Reservations are
+	// journaled per placement (txnOp.commMark), so Undo rewinds them
+	// exactly; Commit swaps the clone into the base. commSrc is the base's
+	// commEpoch at clone time, Reset's staleness check.
+	comm    platform.CommState
+	commSrc uint64
 }
 
 // taskOverlay is the transaction's view of one task's copies.
@@ -87,6 +97,9 @@ type txnOp struct {
 	slot    int  // insertion index into ins[proc]
 	newTask bool // this op created the task's overlay entry
 	occ     timeline.OccupyLog
+	// commMark is the comm journal position before this placement's
+	// reservations (-1 when the op reserved against no contended model).
+	commMark int
 }
 
 // Mark is a journal position; Undo(m) rewinds the transaction to it.
@@ -125,6 +138,11 @@ func (tx *Txn) Reset() {
 	}
 	tx.touched = kept
 	tx.epoch = tx.base.epoch
+	// The rewound comm clone equals its clone point; it only mirrors the
+	// base if the base's reservations haven't moved since.
+	if tx.comm != nil && tx.commSrc != tx.base.commEpoch {
+		tx.comm = nil
+	}
 }
 
 // Instance returns the problem being scheduled.
@@ -190,7 +208,13 @@ func (tx *Txn) Blocked(p int) float64 { return tx.base.blockedFrom[p] }
 // DataReady mirrors Plan.DataReady over the transactional view: the
 // earliest time all input data of task i is available on processor p,
 // taking the best copy — committed or speculative — of every predecessor.
+// Under a contended model, arrivals consult the speculative reservation
+// state when this transaction has one, else the frozen base state (a pure
+// query, safe under concurrent trials).
 func (tx *Txn) DataReady(i dag.TaskID, p int) float64 {
+	if st := tx.commView(); st != nil {
+		return commReady(tx, st, i, p, false)
+	}
 	in := tx.base.in
 	ready := 0.0
 	for _, pe := range in.G.Pred(i) {
@@ -200,7 +224,7 @@ func (tx *Txn) DataReady(i dag.TaskID, p int) float64 {
 		}
 		arrival := math.Inf(1)
 		for _, c := range copies {
-			if t := c.Finish + in.Sys.CommCost(c.Proc, p, pe.Data); t < arrival {
+			if t := c.Finish + in.CommCost(c.Proc, p, pe.Data); t < arrival {
 				arrival = t
 			}
 		}
@@ -209,6 +233,33 @@ func (tx *Txn) DataReady(i dag.TaskID, p int) float64 {
 		}
 	}
 	return ready
+}
+
+// commView returns the reservation state queries should read: the
+// speculative clone once one exists, otherwise the base plan's state (nil
+// under the contention-free model).
+func (tx *Txn) commView() platform.CommState {
+	if tx.comm != nil {
+		return tx.comm
+	}
+	return tx.base.comm
+}
+
+// commitComm is Plan.commitComm against the speculative state: it clones
+// the base's reservations on first write, reserves task i's input
+// transfers and returns the pre-reservation journal mark along with the
+// re-derived start.
+func (tx *Txn) commitComm(i dag.TaskID, p int, start float64) (int, float64) {
+	if tx.comm == nil {
+		tx.comm = tx.base.comm.Clone()
+		tx.commSrc = tx.base.commEpoch
+	}
+	m := tx.comm.Mark()
+	ready := commReady(tx, tx.comm, i, p, true)
+	if start > ready {
+		ready = start
+	}
+	return m, tx.FindSlot(p, ready, tx.base.in.Cost(i, p), true)
 }
 
 // procReady returns the finish time of the last assignment on p (by start
@@ -266,12 +317,18 @@ func (tx *Txn) EFTOn(i dag.TaskID, p int, insertion bool) (start, finish float64
 }
 
 // Place speculatively assigns the primary copy of task i to processor p.
+// Under a contended model it reserves the task's input transfers in the
+// speculative state and re-derives the start, like Plan.Place.
 func (tx *Txn) Place(i dag.TaskID, p int, start float64) Assignment {
 	if tx.Scheduled(i) {
 		panic(fmt.Sprintf("sched: task %d placed twice", i))
 	}
+	commMark := -1
+	if tx.base.comm != nil {
+		commMark, start = tx.commitComm(i, p, start)
+	}
 	a := Assignment{Task: i, Proc: p, Start: start, Finish: start + tx.base.in.Cost(i, p)}
-	tx.insert(a)
+	tx.insert(a, commMark)
 	tx.placed++
 	return a
 }
@@ -281,12 +338,16 @@ func (tx *Txn) PlaceDup(i dag.TaskID, p int, start float64) Assignment {
 	if !tx.Scheduled(i) {
 		panic(fmt.Sprintf("sched: duplicating unscheduled task %d", i))
 	}
+	commMark := -1
+	if tx.base.comm != nil {
+		commMark, start = tx.commitComm(i, p, start)
+	}
 	a := Assignment{Task: i, Proc: p, Start: start, Finish: start + tx.base.in.Cost(i, p), Dup: true}
-	tx.insert(a)
+	tx.insert(a, commMark)
 	return a
 }
 
-func (tx *Txn) insert(a Assignment) {
+func (tx *Txn) insert(a Assignment, commMark int) {
 	p := a.Proc
 	tx.touchProc(p)
 	ins := tx.ins[p]
@@ -304,7 +365,7 @@ func (tx *Txn) insert(a Assignment) {
 	} else {
 		ov.copies = append([]Assignment{a}, ov.copies...)
 	}
-	tx.log = append(tx.log, txnOp{task: a.Task, proc: p, dup: a.Dup, slot: k, newTask: isNew, occ: occ})
+	tx.log = append(tx.log, txnOp{task: a.Task, proc: p, dup: a.Dup, slot: k, newTask: isNew, occ: occ, commMark: commMark})
 }
 
 // touchProc takes an O(1) copy-on-write snapshot of processor p's gap
@@ -351,6 +412,10 @@ func (tx *Txn) Undo(m Mark) {
 		op := tx.log[len(tx.log)-1]
 		tx.log = tx.log[:len(tx.log)-1]
 
+		if op.commMark >= 0 {
+			tx.comm.Undo(op.commMark)
+		}
+
 		ins := tx.ins[op.proc]
 		copy(ins[op.slot:], ins[op.slot+1:])
 		tx.ins[op.proc] = ins[:len(ins)-1]
@@ -382,6 +447,7 @@ func (tx *Txn) Undo(m Mark) {
 // (Reset it to reuse the buffers instead).
 func (tx *Txn) Rollback() {
 	tx.ins, tx.gaps, tx.touched, tx.tasks, tx.log, tx.placed = nil, nil, nil, nil, nil, 0
+	tx.comm = nil
 }
 
 // Commit applies the transaction to the base plan: speculative
@@ -411,6 +477,16 @@ func (tx *Txn) Commit() {
 	}
 	for i := range tx.tasks {
 		tx.base.byTask[tx.tasks[i].task] = tx.tasks[i].copies
+	}
+	if tx.comm != nil {
+		// The clone holds the base's reservations plus this transaction's:
+		// swap it in. A clone whose every reservation was undone equals the
+		// base state; keeping the base's avoids a spurious epoch bump.
+		if tx.comm.Mark() > 0 {
+			tx.base.comm = tx.comm
+			tx.base.commEpoch++
+		}
+		tx.comm = nil
 	}
 	tx.base.placed += tx.placed
 	tx.base.epoch++

@@ -12,13 +12,15 @@ import (
 // cacheKey canonically identifies (instance, algorithm, options): the
 // instance is re-serialized through Instance.WriteJSON so two requests
 // that parse to the same problem hash identically regardless of the
-// JSON formatting they arrived in.
-func cacheKey(in *sched.Instance, algorithm string, analyze bool) (string, error) {
+// JSON formatting they arrived in. The communication-model kind and
+// the shared-link bandwidth are part of the identity — the same
+// problem under one-port is a different scheduling query.
+func cacheKey(in *sched.Instance, algorithm string, analyze bool, linkBandwidth float64) (string, error) {
 	h := sha256.New()
 	if err := in.WriteJSON(h); err != nil {
 		return "", fmt.Errorf("service: hashing instance: %w", err)
 	}
-	fmt.Fprintf(h, "|alg=%s|analyze=%v", algorithm, analyze)
+	fmt.Fprintf(h, "|alg=%s|analyze=%v|comm=%s|bw=%g", algorithm, analyze, in.CommKind(), linkBandwidth)
 	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }
 

@@ -89,3 +89,13 @@ func (c *Client) Algorithms(ctx context.Context) ([]string, error) {
 	}
 	return out["algorithms"], nil
 }
+
+// CommModels lists the communication-model kinds the server accepts in
+// ScheduleRequest.CommModel.
+func (c *Client) CommModels(ctx context.Context) ([]string, error) {
+	var out map[string][]string
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/algorithms", nil, &out); err != nil {
+		return nil, err
+	}
+	return out["commModels"], nil
+}

@@ -1,0 +1,89 @@
+package service_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dagsched/internal/platform"
+	"dagsched/internal/service"
+	"dagsched/internal/testfix"
+)
+
+// TestCommModelRequests drives the comm-model request surface end to
+// end: the selected model is echoed in the response, a contended model
+// only moves the makespan up, and the model is part of the cache
+// identity (the same problem under two models never shares an entry).
+func TestCommModelRequests(t *testing.T) {
+	_, c := startServer(t, service.Options{Workers: 2, CacheSize: 64})
+	inst := instanceJSON(t, testfix.Topcuoglu())
+	ctx := context.Background()
+
+	free, err := c.Schedule(ctx, service.ScheduleRequest{Algorithm: "HEFT", Instance: inst})
+	if err != nil {
+		t.Fatalf("contention-free: %v", err)
+	}
+	if free.CommModel != platform.KindContentionFree {
+		t.Fatalf("default commModel = %q", free.CommModel)
+	}
+	onePort, err := c.Schedule(ctx, service.ScheduleRequest{
+		Algorithm: "HEFT", Instance: inst, CommModel: platform.KindOnePort,
+	})
+	if err != nil {
+		t.Fatalf("one-port: %v", err)
+	}
+	if onePort.CommModel != platform.KindOnePort {
+		t.Fatalf("one-port commModel = %q", onePort.CommModel)
+	}
+	if onePort.Cached {
+		t.Fatal("one-port request hit the contention-free cache entry")
+	}
+	if onePort.Makespan < free.Makespan-1e-9 {
+		t.Fatalf("one-port makespan %g below contention-free %g", onePort.Makespan, free.Makespan)
+	}
+	again, err := c.Schedule(ctx, service.ScheduleRequest{
+		Algorithm: "HEFT", Instance: inst, CommModel: platform.KindOnePort,
+	})
+	if err != nil {
+		t.Fatalf("one-port repeat: %v", err)
+	}
+	if !again.Cached || again.Makespan != onePort.Makespan {
+		t.Fatalf("repeat not served from cache: cached=%v makespan %g vs %g",
+			again.Cached, again.Makespan, onePort.Makespan)
+	}
+
+	shared, err := c.Schedule(ctx, service.ScheduleRequest{
+		Algorithm: "ILS", Instance: inst, CommModel: platform.KindSharedLink, LinkBandwidth: 0.5,
+	})
+	if err != nil {
+		t.Fatalf("shared-link: %v", err)
+	}
+	if shared.CommModel != platform.KindSharedLink {
+		t.Fatalf("shared-link commModel = %q", shared.CommModel)
+	}
+
+	for _, bad := range []service.ScheduleRequest{
+		{Algorithm: "HEFT", Instance: inst, CommModel: "bogus"},
+		{Algorithm: "HEFT", Instance: inst, CommModel: platform.KindSharedLink, LinkBandwidth: -1},
+		{Algorithm: "HEFT", Instance: inst, CommModel: platform.KindOnePort, LinkBandwidth: 2},
+		{Algorithm: "HEFT", Instance: inst, LinkBandwidth: 0.5},
+	} {
+		if _, err := c.Schedule(ctx, bad); err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+			t.Errorf("commModel=%q linkBandwidth=%g: want HTTP 400, got %v", bad.CommModel, bad.LinkBandwidth, err)
+		}
+	}
+
+	kinds, err := c.CommModels(ctx)
+	if err != nil {
+		t.Fatalf("CommModels: %v", err)
+	}
+	want := platform.ModelKinds()
+	if len(kinds) != len(want) {
+		t.Fatalf("/v1/algorithms commModels = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("/v1/algorithms commModels = %v, want %v", kinds, want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dagsched/internal/platform"
+)
+
+// FuzzScheduleRequest asserts the /v1/schedule request decoder never
+// panics and that anything it accepts is a coherent scheduling problem:
+// a resolvable algorithm, at least one processor and one task, a
+// registered communication-model kind, no NaN or negative communication
+// cost (the decoder must reject poisoned payloads rather than hand them
+// to the schedulers), and a hashable cache identity.
+func FuzzScheduleRequest(f *testing.F) {
+	graph := `{"tasks":[{"id":0,"weight":1},{"id":1,"weight":2}],"edges":[{"from":0,"to":1,"data":3}]}`
+	// Seed corpus: valid requests under every model, plus near-misses on
+	// each new field.
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `}`))
+	f.Add([]byte(`{"algorithm":"ILS","graph":` + graph + `,"commModel":"one-port"}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"commModel":"contention-free"}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"commModel":"shared-link","linkBandwidth":0.5}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"commModel":"shared-link","linkBandwidth":-1}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"commModel":"shared-link","linkBandwidth":1e999}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"commModel":"one-port","linkBandwidth":2}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"commModel":"bogus"}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"processors":-3,"latency":1e308,"timePerUnit":1e308}`))
+	f.Add([]byte(`{"algorithm":"HEFT","instance":{"graph":` + graph + `,"system":{"speeds":[1,1]}}}`))
+	f.Add([]byte(`{"algorithm":"HEFT"}`))
+	f.Add([]byte(`{"algorithm":"NOPE","graph":` + graph + `}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+	s := New(Options{CacheSize: -1})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, a, in, err := s.parseRequest(bytes.NewReader(body))
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		if req == nil || a == nil || in == nil {
+			t.Fatal("accepted request with nil parts")
+		}
+		if in.P() < 1 || in.N() < 1 {
+			t.Fatalf("accepted degenerate problem: P=%d N=%d", in.P(), in.N())
+		}
+		kind := in.CommKind()
+		known := false
+		for _, k := range platform.ModelKinds() {
+			known = known || k == kind
+		}
+		if !known {
+			t.Fatalf("accepted unknown comm-model kind %q", kind)
+		}
+		for p := 0; p < in.P(); p++ {
+			for q := 0; q < in.P(); q++ {
+				if c := in.CommCost(p, q, 1); math.IsNaN(c) || c < 0 {
+					t.Fatalf("comm cost (%d,%d) = %g under %q", p, q, c, kind)
+				}
+			}
+		}
+		if _, err := cacheKey(in, a.Name(), req.Analyze, req.LinkBandwidth); err != nil {
+			t.Fatalf("cacheKey: %v", err)
+		}
+	})
+}

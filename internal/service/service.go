@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -233,6 +234,7 @@ func (s *Server) run(j *job) jobResult {
 		Speedup:    metrics.Speedup(sch),
 		Efficiency: metrics.Efficiency(sch),
 		Duplicates: sch.NumDuplicates(),
+		CommModel:  j.in.CommKind(),
 		RuntimeMs:  float64(elapsed.Microseconds()) / 1000,
 	}
 	in := sch.Instance()
@@ -304,7 +306,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"algorithms": suite.Names()})
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"algorithms": suite.Names(),
+		"commModels": platform.ModelKinds(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -327,15 +332,15 @@ func (s *Server) parseRequest(body io.Reader) (*ScheduleRequest, algo.Algorithm,
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	var in *sched.Instance
 	switch {
 	case len(req.Instance) > 0 && len(req.Graph) > 0:
 		return nil, nil, nil, fmt.Errorf("request carries both instance and graph; send one")
 	case len(req.Instance) > 0:
-		in, err := sched.ReadInstanceJSON(bytes.NewReader(req.Instance))
+		in, err = sched.ReadInstanceJSON(bytes.NewReader(req.Instance))
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		return &req, a, in, nil
 	case len(req.Graph) > 0:
 		g, err := dag.ReadJSON(bytes.NewReader(req.Graph))
 		if err != nil {
@@ -352,11 +357,53 @@ func (s *Server) parseRequest(body io.Reader) (*ScheduleRequest, algo.Algorithm,
 		if req.Latency < 0 || tpu < 0 {
 			return nil, nil, nil, fmt.Errorf("negative link parameters")
 		}
-		in := sched.Consistent(g, platform.Homogeneous(procs, req.Latency, tpu))
-		return &req, a, in, nil
+		speeds := make([]float64, procs)
+		for i := range speeds {
+			speeds[i] = 1
+		}
+		// platform.New (not Homogeneous, which panics) so oversized link
+		// parameters from the wire come back as a 400, not a crash.
+		sys, err := platform.New(platform.Config{Speeds: speeds, Latency: req.Latency, TimePerUnit: tpu})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		in = sched.Consistent(g, sys)
 	default:
 		return nil, nil, nil, fmt.Errorf("request carries neither instance nor graph")
 	}
+	in, err = bindCommModel(in, &req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &req, a, in, nil
+}
+
+// bindCommModel resolves the request's communication-model selection
+// against the parsed instance. An empty CommModel keeps the classic
+// contention-free costs (bit-for-bit the pre-model behaviour).
+func bindCommModel(in *sched.Instance, req *ScheduleRequest) (*sched.Instance, error) {
+	if bw := req.LinkBandwidth; bw != 0 {
+		if req.CommModel != platform.KindSharedLink {
+			return nil, fmt.Errorf("linkBandwidth requires commModel %q", platform.KindSharedLink)
+		}
+		if math.IsNaN(bw) || math.IsInf(bw, 0) || bw <= 0 {
+			return nil, fmt.Errorf("linkBandwidth %g must be positive and finite", bw)
+		}
+	}
+	if req.CommModel == "" {
+		return in, nil
+	}
+	var m platform.CommModel
+	var err error
+	if req.CommModel == platform.KindSharedLink && req.LinkBandwidth != 0 {
+		m, err = platform.NewSharedLink(in.Sys, platform.SharedLinkConfig{Bandwidth: []float64{req.LinkBandwidth}})
+	} else {
+		m, err = platform.ModelByKind(req.CommModel, in.Sys)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return in.WithComm(m), nil
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
@@ -369,7 +416,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key, err := cacheKey(in, a.Name(), req.Analyze)
+	key, err := cacheKey(in, a.Name(), req.Analyze, req.LinkBandwidth)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return

@@ -21,6 +21,17 @@ type ScheduleRequest struct {
 	Processors  int     `json:"processors,omitempty"`
 	Latency     float64 `json:"latency,omitempty"`
 	TimePerUnit float64 `json:"timePerUnit,omitempty"`
+	// CommModel selects the communication model the schedulers run
+	// under: "" or "contention-free" (the classic matrix costs),
+	// "one-port" (transfers serialize on per-processor send/receive
+	// ports) or "shared-link" (all processors share one bus). Any
+	// registry algorithm becomes contention-aware when a contended
+	// model is selected.
+	CommModel string `json:"commModel,omitempty"`
+	// LinkBandwidth scales the shared-link bus (data units per time
+	// unit; default 1). Only valid with CommModel "shared-link"; must
+	// be positive and finite.
+	LinkBandwidth float64 `json:"linkBandwidth,omitempty"`
 	// Analyze adds per-task slack, the critical set and per-processor
 	// idle time to the response.
 	Analyze bool `json:"analyze,omitempty"`
@@ -37,6 +48,9 @@ type ScheduleResponse struct {
 	Speedup    float64 `json:"speedup"`
 	Efficiency float64 `json:"efficiency"`
 	Duplicates int     `json:"duplicates"`
+	// CommModel is the communication-model kind the schedule was
+	// computed under.
+	CommModel string `json:"commModel"`
 	// RuntimeMs is the scheduling time of the run that produced this
 	// result; a cached response reports the original run's time.
 	RuntimeMs float64 `json:"runtimeMs"`

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"dagsched/internal/dag"
+	"dagsched/internal/platform"
 	"dagsched/internal/sched"
 )
 
@@ -32,12 +33,18 @@ type Config struct {
 	Seed int64
 	// Contention switches communication to the one-port model: every
 	// processor has a single send port and a single receive port, and
-	// inter-processor transfers serialize on both. The scheduling
-	// algorithms all assume the contention-free (multi-port) model, so a
-	// contended replay measures how optimistic a schedule's makespan is
-	// on a network that serializes transfers. Transfers are issued in the
-	// consumers' scheduled-start order.
+	// inter-processor transfers serialize on both. A schedule computed
+	// under the contention-free assumption degrades here; the contended
+	// replay measures how optimistic its makespan was. Transfers are
+	// issued in the consumers' scheduled-start order, each claiming the
+	// earliest feasible window on its route.
 	Contention bool
+	// Model replays under an arbitrary communication model (overriding
+	// Contention): transfer durations come from the model's idle costs
+	// and transfers serialize on whatever resources the model contends.
+	// Nil with Contention unset replays contention-free using the
+	// schedule instance's idle costs.
+	Model platform.CommModel
 }
 
 // Report is the outcome of one replay.
@@ -53,10 +60,12 @@ type Report struct {
 	// Stretch is the replayed makespan divided by the analytic one.
 	Stretch float64
 	// Transfers counts inter-processor data transfers; SendTime is the
-	// total time each processor's send port was busy (only meaningful
-	// with Contention, where ports serialize).
+	// total network time attributed to each source processor's transfers
+	// (only meaningful under a contended model, where they serialize).
 	Transfers int
 	SendTime  []float64
+	// Model is the kind of communication model the replay ran under.
+	Model string
 }
 
 // Run replays the schedule under cfg.
@@ -113,16 +122,33 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 	}
 	// Routing fixed at schedule time: for consumer copy c and predecessor
 	// task m, the source is the copy of m with the earliest *scheduled*
-	// arrival at c's processor.
+	// arrival at c's processor (under the instance's own idle costs — the
+	// view the scheduler routed with).
 	route := func(c copyRef, m dag.TaskID, data float64) copyRef {
 		best := byTask[m][0]
 		bestT := math.Inf(1)
 		for _, d := range byTask[m] {
-			if t := d.a.Finish + in.Sys.CommCost(d.a.Proc, c.a.Proc, data); t < bestT {
+			if t := d.a.Finish + in.CommCost(d.a.Proc, c.a.Proc, data); t < bestT {
 				bestT, best = t, d
 			}
 		}
 		return best
+	}
+	// The replay's communication model: cfg.Model, else one-port when
+	// Contention is set, else the contention-free idle-cost replay.
+	model := cfg.Model
+	if model == nil && cfg.Contention {
+		model, _ = platform.ModelByKind(platform.KindOnePort, in.Sys)
+	}
+	var network platform.CommState
+	if model != nil {
+		network = model.NewState()
+	}
+	commCost := in.CommCost
+	modelKind := platform.KindContentionFree
+	if model != nil {
+		commCost = model.Cost
+		modelKind = model.Kind()
 	}
 	// Actual finish per copy, keyed by (processor, timeline slot): the one
 	// identity that stays unique when copies of the same task share a
@@ -134,12 +160,11 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 	actualFinish := make(map[key]float64, len(copies))
 	procFree := make([]float64, in.P())
 	busy := make([]float64, in.P())
-	sendFree := make([]float64, in.P())
-	recvFree := make([]float64, in.P())
 	sendBusy := make([]float64, in.P())
 	rep := Report{
 		Start:  make([]float64, in.N()),
 		Finish: make([]float64, in.N()),
+		Model:  modelKind,
 	}
 	for i, c := range copies {
 		ready := 0.0
@@ -153,12 +178,11 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 			if src.a.Proc == c.a.Proc {
 				arrival = f
 			} else {
-				dur := in.Sys.CommCost(src.a.Proc, c.a.Proc, pe.Data)
-				if cfg.Contention {
-					xferStart := math.Max(f, math.Max(sendFree[src.a.Proc], recvFree[c.a.Proc]))
+				dur := commCost(src.a.Proc, c.a.Proc, pe.Data)
+				if network != nil && dur > 0 {
+					xferStart := network.TransferStart(src.a.Proc, c.a.Proc, f, dur)
+					network.Reserve(src.a.Proc, c.a.Proc, xferStart, dur)
 					arrival = xferStart + dur
-					sendFree[src.a.Proc] = arrival
-					recvFree[c.a.Proc] = arrival
 					sendBusy[src.a.Proc] += dur
 				} else {
 					arrival = f + dur

@@ -78,6 +78,10 @@ type HetConfig struct {
 	// time-per-unit is drawn uniformly from [1−s/2, 1+s/2] (mean 1). Must
 	// lie in [0, 2); 0 keeps all links identical.
 	LinkSpread float64
+	// StartupSpread does the same for per-link startup latencies, drawn
+	// uniformly from Latency·[1−s/2, 1+s/2]. Must lie in [0, 2); 0 keeps
+	// the uniform Latency.
+	StartupSpread float64
 }
 
 // MakeInstance builds a ready-to-schedule instance: a unit-speed fully
@@ -87,31 +91,19 @@ func MakeInstance(g *dag.Graph, cfg HetConfig, rng *rand.Rand) (*sched.Instance,
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("workload: invalid processor count %d", cfg.Procs)
 	}
-	if cfg.LinkSpread < 0 || cfg.LinkSpread >= 2 {
-		return nil, fmt.Errorf("workload: link spread %g out of [0,2)", cfg.LinkSpread)
-	}
-	var sys *platform.System
-	if cfg.LinkSpread == 0 {
-		sys = platform.Homogeneous(cfg.Procs, cfg.Latency, 1)
-	} else {
-		speeds := make([]float64, cfg.Procs)
-		invRate := make([][]float64, cfg.Procs)
-		for i := range speeds {
-			speeds[i] = 1
-			invRate[i] = make([]float64, cfg.Procs)
-			for j := range invRate[i] {
-				if i != j {
-					invRate[i][j] = 1 + cfg.LinkSpread*(rng.Float64()-0.5)
-				}
-			}
-		}
-		var err error
-		sys, err = platform.New(platform.Config{
-			Speeds: speeds, Latency: cfg.Latency, InvRateMatrix: invRate,
-		})
-		if err != nil {
-			return nil, err
-		}
+	// platform.Generate draws nothing for zero spreads and draws link
+	// matrices in the same row-major order the previous inline loop
+	// used, so pre-existing configs reproduce their old systems (and
+	// RNG stream) bit for bit.
+	sys, err := platform.Generate(platform.GenConfig{
+		Procs:         cfg.Procs,
+		Latency:       cfg.Latency,
+		TimePerUnit:   1,
+		StartupSpread: cfg.StartupSpread,
+		LinkSpread:    cfg.LinkSpread,
+	}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
 	}
 	scaled := g
 	if cfg.CCR > 0 {
