@@ -32,12 +32,13 @@ race:
 # experiment repetition worker pool, the schedd service (worker pool,
 # cache, graceful shutdown), the speculative-transaction layer (including
 # cloned comm-state trials under contended models), the ILS trial
-# machinery, the contention-aware wrappers, and the differential suite
-# with the per-processor trial workers forced on. `race` already covers
-# them once; this tier re-runs them with fresh state so interleavings
-# differ between passes.
+# machinery, the contention-aware wrappers, the differential suite
+# with the per-processor trial workers forced on, and the fault
+# replay/repair path (exercised concurrently through the service and
+# experiment tiers). `race` already covers them once; this tier re-runs
+# them with fresh state so interleavings differ between passes.
 race-concurrent:
-	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/algo/suite ./internal/core ./internal/algo/contention
+	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/algo/suite ./internal/core ./internal/algo/contention ./internal/sim ./internal/algo/resched
 
 # One iteration of the scheduler-throughput benchmark at every size,
 # plus the transaction-layer micro-benchmarks (trial begin/rollback,
@@ -55,6 +56,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadDAX -fuzztime 5s ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzReadGraphJSON -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz FuzzScheduleRequest -fuzztime 5s ./internal/service
+	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 5s ./internal/sim
 
 # Regenerate BENCH_sched.json (real measurement; takes a minute).
 scale:

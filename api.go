@@ -9,6 +9,7 @@ import (
 	"dagsched/internal/algo"
 	"dagsched/internal/algo/exact"
 	"dagsched/internal/algo/repair"
+	"dagsched/internal/algo/resched"
 	"dagsched/internal/algo/suite"
 	"dagsched/internal/core"
 	"dagsched/internal/dag"
@@ -332,6 +333,75 @@ type (
 // execution times, and reports achieved makespan and utilization.
 func Simulate(s *Schedule, cfg SimConfig) (SimReport, error) { return sim.Run(s, cfg) }
 
+// Fault injection and reactive rescheduling.
+type (
+	// FaultPlan is a deterministic runtime-fault scenario injected into a
+	// replay via SimConfig.Faults: processor crashes, link faults and
+	// execution-time jitter, all seeded.
+	FaultPlan = sim.FaultPlan
+	// Crash is one processor failure window (Until 0 = permanent).
+	Crash = sim.Crash
+	// LinkFault degrades or severs communication links for a window.
+	LinkFault = sim.LinkFault
+	// FaultReport is the degradation summary of a faulted replay
+	// (SimReport.Faults).
+	FaultReport = sim.FaultReport
+	// RepairPolicy selects how a schedule is repaired after crashes; see
+	// RepairPolicies.
+	RepairPolicy = resched.Policy
+	// RepairEvent is one observed fail-stop event fed to a repair.
+	RepairEvent = resched.Event
+	// RepairOutcome summarizes what a reactive repair did.
+	RepairOutcome = resched.Outcome
+	// RobustnessConfig parameterizes EvalRobustness.
+	RobustnessConfig = resched.RobustnessConfig
+	// RobustnessReport aggregates degradation over sampled fault plans.
+	RobustnessReport = resched.Robustness
+)
+
+// ErrProcRange marks schedules or fault plans referencing processors the
+// instance does not have; errors.Is recognises it.
+var ErrProcRange = sim.ErrProcRange
+
+// ReadFaultPlan decodes and validates a fault plan from JSON.
+func ReadFaultPlan(r io.Reader) (*FaultPlan, error) { return sim.ReadFaultPlan(r) }
+
+// SampleCrashes draws a fail-stop fault plan: each processor crashes
+// permanently with the given probability, at a time uniform over
+// [0, horizon), deterministically per seed. At least one processor
+// always survives.
+func SampleCrashes(procs int, rate, horizon float64, seed int64) FaultPlan {
+	return sim.SampleCrashes(procs, rate, horizon, seed)
+}
+
+// RepairPolicies lists the registered reactive repair policies;
+// RepairPolicyByName resolves one ("remap-stranded", "reschedule-suffix"
+// or "auto" — the default, which tries both and keeps the better).
+func RepairPolicies() []RepairPolicy { return resched.Policies() }
+
+// RepairPolicyByName resolves a repair policy by name.
+func RepairPolicyByName(name string) (RepairPolicy, error) { return resched.ByName(name) }
+
+// ReactToFaults repairs the schedule against the plan's permanent
+// crashes, reacting to each in time order: completed and in-flight work
+// is frozen, stranded work moves to surviving processors. A plan with no
+// permanent crashes returns the schedule unchanged.
+func ReactToFaults(s *Schedule, fp *FaultPlan, p RepairPolicy) (*Schedule, RepairOutcome, error) {
+	return resched.React(s, fp, p)
+}
+
+// EvalRobustness measures expected degradation of a schedule under
+// sampled fail-stop fault plans with reactive repair.
+func EvalRobustness(s *Schedule, cfg RobustnessConfig) (RobustnessReport, error) {
+	return resched.EvalRobustness(s, cfg)
+}
+
+// ScheduleFromAssignments rebuilds a validated Schedule from explicit
+// placements (e.g. decoded from an external tool).
+func ScheduleFromAssignments(in *Instance, algorithm string, as []Assignment) (*Schedule, error) {
+	return sched.FromAssignments(in, algorithm, as)
+}
+
 // Rendering.
 
 // WriteGanttText renders an ASCII Gantt chart of the schedule.
@@ -344,6 +414,12 @@ func WriteGanttSVG(w io.Writer, s *Schedule) error { return export.WriteGanttSVG
 
 // WriteScheduleJSON writes the schedule as JSON, one record per task copy.
 func WriteScheduleJSON(w io.Writer, s *Schedule) error { return export.WriteScheduleJSON(w, s) }
+
+// ReadScheduleJSON rebuilds a schedule written by WriteScheduleJSON
+// against the instance it was computed for.
+func ReadScheduleJSON(in *Instance, r io.Reader) (*Schedule, error) {
+	return export.ReadScheduleJSON(in, r)
+}
 
 // WriteChromeTrace writes the schedule in the Chrome trace-event format
 // (chrome://tracing, Perfetto).

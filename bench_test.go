@@ -59,6 +59,7 @@ func BenchmarkE17DupBudget(b *testing.B)      { runExperiment(b, "E17") }
 func BenchmarkE18LinkSpread(b *testing.B)     { runExperiment(b, "E18") }
 func BenchmarkE19FailStopRepair(b *testing.B) { runExperiment(b, "E19") }
 func BenchmarkE20CommModels(b *testing.B)     { runExperiment(b, "E20") }
+func BenchmarkE21FaultRobustness(b *testing.B) { runExperiment(b, "E21") }
 
 // benchSizeCap bounds the DAG size each algorithm is benchmarked at in
 // BenchmarkAlgorithms (it mirrors scaleSizeCap in cmd/schedbench). The

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +32,8 @@ func main() {
 		out     = flag.String("out", "BENCH_sched.json", "output path for -scale ('-' = stdout)")
 		linkSp  = flag.Float64("link-spread", 0, "per-link transfer-rate spread in [0,2) for -scale instances (0 = uniform links)")
 		startSp = flag.Float64("startup-spread", 0, "per-link startup spread in [0,2) for -scale instances")
+		faults    = flag.String("faults", "", "comma-separated crash rates for the robustness experiment E21 (overrides its default sweep)")
+		faultSeed = flag.Int64("fault-seed", 0, "fault-plan sampling seed offset for E21")
 	)
 	flag.Parse()
 
@@ -53,7 +56,16 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
-	cfg := dagsched.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := dagsched.ExperimentConfig{Reps: *reps, Seed: *seed, Quick: *quick, Workers: *workers, FaultSeed: *faultSeed}
+	if *faults != "" {
+		for _, s := range strings.Split(*faults, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil || r < 0 || r > 1 {
+				fatal(fmt.Errorf("-faults: crash rate %q must be a number in [0,1]", s))
+			}
+			cfg.FaultRates = append(cfg.FaultRates, r)
+		}
+	}
 	fmt.Printf("# dagsched experiment suite (%d experiments, quick=%v, seed=%d)\n\n",
 		len(selected), *quick, *seed)
 	for _, e := range selected {

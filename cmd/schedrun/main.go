@@ -45,6 +45,9 @@ func main() {
 		analyze   = flag.Bool("analyze", false, "print slack/idle analysis of the best schedule")
 		failProc  = flag.Int("fail-proc", -1, "simulate a fail-stop of this processor and repair")
 		failAt    = flag.Float64("fail-at", 0, "failure time for -fail-proc (fraction of makespan if < 1)")
+		faults    = flag.String("faults", "", "fault-plan JSON file; replay the best schedule under it and repair reactively")
+		faultSeed = flag.Int64("fault-seed", 0, "override the fault plan's jitter seed (0 keeps the plan's own)")
+		repairPol = flag.String("repair-policy", "auto", "reactive repair policy for -faults: auto|remap-stranded|reschedule-suffix")
 	)
 	flag.Parse()
 
@@ -196,6 +199,47 @@ func main() {
 		fmt.Printf("\nfail-stop of P%d at t=%.4g: makespan %.4g -> %.4g (+%.1f%%), %d tasks lost, %d moved\n",
 			*failProc, ft, imp.Original, imp.Repaired,
 			100*(imp.Repaired/imp.Original-1), imp.Lost, imp.Moved)
+	}
+	if *faults != "" {
+		f, err := os.Open(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		fp, err := dagsched.ReadFaultPlan(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *faultSeed != 0 {
+			fp.Seed = *faultSeed
+		}
+		rep, err := dagsched.Simulate(best, dagsched.SimConfig{Faults: fp})
+		if err != nil {
+			fatal(err)
+		}
+		fr := rep.Faults
+		fmt.Printf("\nfault replay (%d crashes, %d link faults, jitter ±%.0f%%): makespan %.4g -> %.4g\n",
+			len(fp.Crashes), len(fp.Links), fp.Jitter*100, fr.Nominal, rep.Makespan)
+		fmt.Printf("  %d/%d tasks completed, %d stranded, %d executions killed, %d restarted\n",
+			fr.Completed, in.N(), len(fr.Stranded), fr.Killed, fr.Restarts)
+		pol, err := dagsched.RepairPolicyByName(*repairPol)
+		if err != nil {
+			fatal(err)
+		}
+		r, out, err := dagsched.ReactToFaults(best, fp, pol)
+		if err != nil {
+			fatal(err)
+		}
+		if r == best {
+			fmt.Println("  no permanent crash: nothing to repair")
+		} else {
+			if err := r.Validate(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  repair (%s): makespan %.4g -> %.4g (+%.1f%%), %d frozen, %d lost, %d remapped, %d delayed\n",
+				out.Policy, out.Nominal, out.Repaired, 100*(out.Repaired/out.Nominal-1),
+				out.Frozen, out.Lost, out.Remapped, out.Delayed)
+		}
 	}
 }
 

@@ -1,0 +1,87 @@
+package resched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// mode is a primitive repair strategy.
+type mode int
+
+const (
+	modeRemap mode = iota
+	modeResuffix
+	modeAuto
+)
+
+const (
+	nameRemap    = "remap-stranded"
+	nameResuffix = "reschedule-suffix"
+	nameAuto     = "auto"
+)
+
+// Policy is a registered repair strategy. The zero value is invalid; use
+// ByName or Default.
+type Policy struct {
+	name string
+	desc string
+	mode mode
+}
+
+// Name returns the registry name of the policy.
+func (p Policy) Name() string { return p.name }
+
+// Description returns the one-line human description.
+func (p Policy) Description() string { return p.desc }
+
+// String implements fmt.Stringer.
+func (p Policy) String() string { return p.name }
+
+var registry = map[string]Policy{
+	nameRemap: {
+		name: nameRemap,
+		desc: "minimal disturbance: pending tasks keep their processor and may only slide later; only destroyed work moves",
+		mode: modeRemap,
+	},
+	nameResuffix: {
+		name: nameResuffix,
+		desc: "re-derive the whole unfinished suffix with insertion-based best-EFT over the surviving processors",
+		mode: modeResuffix,
+	},
+	nameAuto: {
+		name: nameAuto,
+		desc: "trial both primitive policies in speculative transactions and commit the shorter repair",
+		mode: modeAuto,
+	},
+}
+
+// ByName resolves a policy by its registry name.
+func ByName(name string) (Policy, error) {
+	if p, ok := registry[name]; ok {
+		return p, nil
+	}
+	return Policy{}, fmt.Errorf("resched: unknown repair policy %q (have %v)", name, Names())
+}
+
+// Default returns the auto policy.
+func Default() Policy { return registry[nameAuto] }
+
+// Policies returns every registered policy sorted by name.
+func Policies() []Policy {
+	out := make([]Policy, 0, len(registry))
+	for _, p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Names returns the registry names sorted alphabetically.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -28,6 +28,11 @@ type Config struct {
 	// Parallelism never changes results: every repetition has its own
 	// deterministic random stream.
 	Workers int
+	// FaultRates overrides the crash-rate sweep of the robustness
+	// experiment E21 (empty keeps its default), and FaultSeed offsets
+	// its fault-plan sampling.
+	FaultRates []float64
+	FaultSeed  int64
 }
 
 func (c Config) reps(def int) int {
@@ -63,7 +68,7 @@ type Experiment struct {
 func All() []Experiment {
 	return []Experiment{
 		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(),
-		E14(), E15(), E16(), E17(), E18(), E19(), E20(),
+		E14(), E15(), E16(), E17(), E18(), E19(), E20(), E21(),
 	}
 }
 

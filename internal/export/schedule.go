@@ -6,6 +6,7 @@ import (
 	"io"
 	"strings"
 
+	"dagsched/internal/dag"
 	"dagsched/internal/sched"
 )
 
@@ -104,6 +105,33 @@ func WriteChromeTrace(w io.Writer, s *sched.Schedule) error {
 	}
 	_, err = w.Write(append(data, '\n'))
 	return err
+}
+
+// ReadScheduleJSON reloads a schedule written by WriteScheduleJSON,
+// rebinding it to the instance it was computed for (archives store
+// placements, not the cost model). A placement on a processor the
+// instance does not have is deliberately preserved so downstream
+// consumers (Schedule.Validate, sim.Run) can report it as a typed error
+// rather than this reader guessing about platform drift.
+func ReadScheduleJSON(in *sched.Instance, r io.Reader) (*sched.Schedule, error) {
+	var sj scheduleJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("export: decoding schedule: %w", err)
+	}
+	if sj.Algorithm == "" {
+		return nil, fmt.Errorf("export: schedule archive has no algorithm name")
+	}
+	if sj.Tasks != 0 && sj.Tasks != in.N() {
+		return nil, fmt.Errorf("export: archive has %d tasks, instance has %d", sj.Tasks, in.N())
+	}
+	as := make([]sched.Assignment, 0, len(sj.Assignments))
+	for _, a := range sj.Assignments {
+		as = append(as, sched.Assignment{
+			Task: dag.TaskID(a.Task), Proc: a.Proc,
+			Start: a.Start, Finish: a.Finish, Dup: a.Dup,
+		})
+	}
+	return sched.FromAssignments(in, sj.Algorithm, as)
 }
 
 // ReadScheduleSummary decodes only the summary header fields of a

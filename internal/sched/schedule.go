@@ -115,6 +115,9 @@ func (s *Schedule) Validate() error {
 	}
 	// Per-processor slots are disjoint, sane and match execution costs.
 	for p, timeline := range s.procs {
+		if p >= in.P() && len(timeline) > 0 {
+			return fmt.Errorf("sched: task %d placed on processor %d of a %d-processor platform", timeline[0].Task, p, in.P())
+		}
 		prevFinish := math.Inf(-1)
 		for _, a := range timeline {
 			if a.Start < -eps {
@@ -155,6 +158,45 @@ func (s *Schedule) Validate() error {
 		}
 	}
 	return nil
+}
+
+// FromAssignments rebuilds a Schedule from raw placements — the inverse
+// of All(), used to reload schedules archived by export.WriteScheduleJSON.
+// Only basic structure is checked here (task indices, exactly one primary
+// per task, sane time windows); temporal feasibility is Validate's job,
+// and a placement on a processor the instance does not have is
+// deliberately preserved so downstream consumers (Validate, sim.Run)
+// report it as a typed error instead of panicking on a cost lookup.
+func FromAssignments(in *Instance, algorithm string, as []Assignment) (*Schedule, error) {
+	maxProc := in.P() - 1
+	primaries := make([]int, in.N())
+	for _, a := range as {
+		if a.Task < 0 || int(a.Task) >= in.N() {
+			return nil, fmt.Errorf("sched: assignment names task %d of a %d-task graph", a.Task, in.N())
+		}
+		if a.Proc < 0 {
+			return nil, fmt.Errorf("sched: assignment of task %d names negative processor %d", a.Task, a.Proc)
+		}
+		if a.Proc > maxProc {
+			maxProc = a.Proc
+		}
+		if math.IsNaN(a.Start) || math.IsNaN(a.Finish) || a.Finish < a.Start {
+			return nil, fmt.Errorf("sched: assignment of task %d has invalid window [%g, %g]", a.Task, a.Start, a.Finish)
+		}
+		if !a.Dup {
+			primaries[a.Task]++
+		}
+	}
+	for t, n := range primaries {
+		if n != 1 {
+			return nil, fmt.Errorf("sched: task %d has %d primary copies, want 1", t, n)
+		}
+	}
+	procs := make([][]Assignment, maxProc+1)
+	for _, a := range as {
+		procs[a.Proc] = append(procs[a.Proc], a)
+	}
+	return buildSchedule(in, algorithm, procs), nil
 }
 
 // buildSchedule assembles the immutable Schedule from a finished Plan.

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -12,15 +13,23 @@ import (
 // cacheKey canonically identifies (instance, algorithm, options): the
 // instance is re-serialized through Instance.WriteJSON so two requests
 // that parse to the same problem hash identically regardless of the
-// JSON formatting they arrived in. The communication-model kind and
-// the shared-link bandwidth are part of the identity — the same
-// problem under one-port is a different scheduling query.
-func cacheKey(in *sched.Instance, algorithm string, analyze bool, linkBandwidth float64) (string, error) {
+// JSON formatting they arrived in. The communication-model kind, the
+// shared-link bandwidth and the faults block are part of the identity —
+// the same problem under one-port, or under a different fault plan, is
+// a different scheduling query.
+func cacheKey(in *sched.Instance, algorithm string, analyze bool, linkBandwidth float64, faults *FaultsRequest) (string, error) {
 	h := sha256.New()
 	if err := in.WriteJSON(h); err != nil {
 		return "", fmt.Errorf("service: hashing instance: %w", err)
 	}
 	fmt.Fprintf(h, "|alg=%s|analyze=%v|comm=%s|bw=%g", algorithm, analyze, in.CommKind(), linkBandwidth)
+	if faults != nil {
+		fw, err := json.Marshal(faults)
+		if err != nil {
+			return "", fmt.Errorf("service: hashing faults block: %w", err)
+		}
+		fmt.Fprintf(h, "|faults=%s", fw)
+	}
 	return fmt.Sprintf("%x", h.Sum(nil)), nil
 }
 

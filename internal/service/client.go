@@ -4,17 +4,96 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"sync"
+	"time"
 )
 
-// Client is a minimal schedd API client.
+// ErrCircuitOpen is returned (wrapped) by Client.Schedule when the
+// per-algorithm circuit breaker is open: recent requests for that
+// algorithm kept failing, so the client fails fast instead of hammering
+// a struggling server. errors.Is recognises it.
+var ErrCircuitOpen = errors.New("service: circuit open")
+
+// RetryPolicy configures the client's transient-failure handling. The
+// zero value of each field selects its default.
+type RetryPolicy struct {
+	// MaxAttempts bounds tries per call, first attempt included
+	// (default 3). 1 disables retrying.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay; each further retry doubles
+	// it up to MaxBackoff, and every delay is jittered to [50%,100%] of
+	// its nominal value (defaults 50ms / 2s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// BreakerThreshold opens an algorithm's circuit after that many
+	// consecutive server-side failures (default 5); BreakerCooldown is
+	// how long it stays open before one trial request may probe the
+	// server again (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 50 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.BreakerThreshold <= 0 {
+		p.BreakerThreshold = 5
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 5 * time.Second
+	}
+	return p
+}
+
+// StatusError is a non-2xx response. It formats exactly as the error
+// string older client versions produced, so callers matching on the
+// text keep working while new callers can switch on Status.
+type StatusError struct {
+	Method  string
+	Path    string
+	Status  int
+	Message string // server-provided error body, may be empty
+}
+
+func (e *StatusError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("service: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.Status)
+	}
+	return fmt.Sprintf("service: %s %s: HTTP %d", e.Method, e.Path, e.Status)
+}
+
+// breaker is one algorithm's circuit state (guarded by Client.mu).
+type breaker struct {
+	failures  int
+	openUntil time.Time
+}
+
+// Client is a minimal schedd API client with jittered-backoff retries
+// on transient failures (503, transport errors) and a per-algorithm
+// circuit breaker on Schedule.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry tunes retries and the circuit breaker; nil uses defaults.
+	Retry *RetryPolicy
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	breakers map[string]*breaker
 }
 
 func (c *Client) http() *http.Client {
@@ -24,14 +103,44 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+func (c *Client) policy() RetryPolicy {
+	if c.Retry != nil {
+		return c.Retry.withDefaults()
+	}
+	return RetryPolicy{}.withDefaults()
+}
+
+// jitter maps a nominal backoff to a uniform draw in [d/2, d].
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// retryable reports whether err is worth another attempt: a 503 (queue
+// full, graceful shutdown) or a transport failure (connection reset,
+// refused). Context cancellation and client-side errors (4xx) are not.
+func retryable(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status == http.StatusServiceUnavailable
+	}
+	// Anything else that survived request construction is a transport
+	// error (net.OpError, unexpected EOF, ...).
+	return true
+}
+
+// attempt performs one HTTP round trip.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return fmt.Errorf("service: encoding request: %w", err)
-		}
-		rd = bytes.NewReader(data)
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
@@ -46,11 +155,12 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out any)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{Method: method, Path: path, Status: resp.StatusCode}
 		var e errorJSON
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		if json.NewDecoder(resp.Body).Decode(&e) == nil {
+			se.Message = e.Error
 		}
-		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return se
 	}
 	if out == nil {
 		return nil
@@ -58,10 +168,93 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out any)
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Schedule submits one scheduling request.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var data []byte
+	if body != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("service: encoding request: %w", err)
+		}
+	}
+	pol := c.policy()
+	backoff := pol.BaseBackoff
+	var err error
+	for att := 1; ; att++ {
+		err = c.attempt(ctx, method, path, data, out)
+		if err == nil || att >= pol.MaxAttempts || !retryable(ctx, err) {
+			return err
+		}
+		t := time.NewTimer(c.jitter(backoff))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+	}
+}
+
+// breakerAllow checks the algorithm's circuit; an open circuit past its
+// cooldown admits one half-open trial request.
+func (c *Client) breakerAllow(alg string, pol RetryPolicy) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[alg]
+	if b == nil || b.failures < pol.BreakerThreshold {
+		return nil
+	}
+	if time.Now().Before(b.openUntil) {
+		return fmt.Errorf("%w for algorithm %q (retry after %s)", ErrCircuitOpen, alg, time.Until(b.openUntil).Round(time.Millisecond))
+	}
+	return nil // half-open: let one probe through
+}
+
+// breakerObserve feeds a Schedule outcome into the algorithm's circuit.
+// Server-side failures (5xx, transport) count against the breaker; a
+// success or a client-side rejection (4xx — the server is healthy)
+// closes it.
+func (c *Client) breakerObserve(alg string, pol RetryPolicy, err error) {
+	serverFault := err != nil
+	var se *StatusError
+	if errors.As(err, &se) && se.Status < 500 {
+		serverFault = false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.breakers == nil {
+		c.breakers = make(map[string]*breaker)
+	}
+	b := c.breakers[alg]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[alg] = b
+	}
+	if !serverFault {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= pol.BreakerThreshold {
+		b.openUntil = time.Now().Add(pol.BreakerCooldown)
+	}
+}
+
+// Schedule submits one scheduling request. Transient failures are
+// retried per the client's RetryPolicy; an algorithm whose requests
+// keep failing server-side trips a circuit breaker and fails fast with
+// ErrCircuitOpen until the cooldown elapses.
 func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleResponse, error) {
+	pol := c.policy()
+	if err := c.breakerAllow(req.Algorithm, pol); err != nil {
+		return nil, err
+	}
 	var out ScheduleResponse
-	if err := c.doJSON(ctx, http.MethodPost, "/v1/schedule", req, &out); err != nil {
+	err := c.doJSON(ctx, http.MethodPost, "/v1/schedule", req, &out)
+	c.breakerObserve(req.Algorithm, pol, err)
+	if err != nil {
 		return nil, err
 	}
 	return &out, nil

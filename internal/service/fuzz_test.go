@@ -28,6 +28,11 @@ func FuzzScheduleRequest(f *testing.F) {
 	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"commModel":"bogus"}`))
 	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"processors":-3,"latency":1e308,"timePerUnit":1e308}`))
 	f.Add([]byte(`{"algorithm":"HEFT","instance":{"graph":` + graph + `,"system":{"speeds":[1,1]}}}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"faults":{"rate":0.3,"samples":5,"policy":"auto"}}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"faults":{"plan":{"crashes":[{"proc":1,"at":2}]}}}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"faults":{"plan":{"crashes":[{"proc":99,"at":2}]}}}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"faults":{"rate":7,"policy":"bogus"}}`))
+	f.Add([]byte(`{"algorithm":"HEFT","graph":` + graph + `,"faults":{}}`))
 	f.Add([]byte(`{"algorithm":"HEFT"}`))
 	f.Add([]byte(`{"algorithm":"NOPE","graph":` + graph + `}`))
 	f.Add([]byte(`{`))
@@ -59,7 +64,15 @@ func FuzzScheduleRequest(f *testing.F) {
 				}
 			}
 		}
-		if _, err := cacheKey(in, a.Name(), req.Analyze, req.LinkBandwidth); err != nil {
+		if f := req.Faults; f != nil {
+			if f.Plan == nil && f.Rate == 0 {
+				t.Fatal("accepted empty faults block")
+			}
+			if f.Rate < 0 || f.Rate > 1 || f.Samples < 0 || f.Samples > maxFaultSamples {
+				t.Fatalf("accepted out-of-range faults block %+v", f)
+			}
+		}
+		if _, err := cacheKey(in, a.Name(), req.Analyze, req.LinkBandwidth, req.Faults); err != nil {
 			t.Fatalf("cacheKey: %v", err)
 		}
 	})

@@ -20,19 +20,24 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dagsched/internal/algo"
+	"dagsched/internal/algo/resched"
 	"dagsched/internal/algo/suite"
 	"dagsched/internal/dag"
 	"dagsched/internal/metrics"
 	"dagsched/internal/platform"
 	"dagsched/internal/sched"
+	"dagsched/internal/sim"
 )
 
 // Options configures a Server. The zero value serves on 127.0.0.1:8080
@@ -94,7 +99,9 @@ type job struct {
 	alg     algo.Algorithm
 	in      *sched.Instance
 	analyze bool
+	faults  *FaultsRequest
 	key     string
+	reqID   string
 	// done receives exactly one result; buffered so a worker never
 	// blocks on a handler that already gave up on its deadline.
 	done chan jobResult
@@ -117,6 +124,15 @@ type Server struct {
 	ln      net.Listener
 	cache   *lruCache
 	met     *serverMetrics
+	reqSeq  atomic.Uint64
+}
+
+// reqIDKey carries the request ID through the request context so worker
+// panics can be correlated with the HTTP request that queued them.
+type reqIDKey struct{}
+
+func (s *Server) nextReqID() string {
+	return fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
 }
 
 // New returns an unstarted server.
@@ -216,8 +232,19 @@ func (s *Server) worker() {
 	}
 }
 
-// run executes one scheduling job under its context.
-func (s *Server) run(j *job) jobResult {
+// run executes one scheduling job under its context. A panicking
+// algorithm (the Resolver accepts third-party implementations) is
+// converted to an error result so the worker — and with it the whole
+// pool — survives; the handler turns it into a 500.
+func (s *Server) run(j *job) (res jobResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.met.ObservePanic()
+			log.Printf("service: panic in scheduling worker (request %s, algorithm %s): %v\n%s",
+				j.reqID, j.alg.Name(), p, debug.Stack())
+			res = jobResult{err: fmt.Errorf("internal error: scheduler panic (request %s)", j.reqID)}
+		}
+	}()
 	start := time.Now()
 	sch, err := algo.ScheduleContext(j.ctx, j.alg, j.in)
 	elapsed := time.Since(start)
@@ -263,29 +290,127 @@ func (s *Server) run(j *job) jobResult {
 		}
 		resp.Analysis = aj
 	}
+	if j.faults != nil {
+		rj, err := robustness(sch, j.faults)
+		if err != nil {
+			return jobResult{err: fmt.Errorf("robustness evaluation: %w", err)}
+		}
+		resp.Robustness = rj
+	}
 	s.met.ObserveRun(resp.Algorithm, resp.Makespan, resp.RuntimeMs)
 	s.cache.Put(j.key, resp)
 	return jobResult{resp: resp}
 }
 
-// statusRecorder captures the response code for request metrics.
+// robustness evaluates the Faults block of a request against a computed
+// schedule. The request was validated by parseRequest, so policy names
+// and plan shapes resolve here without re-checking.
+func robustness(sch *sched.Schedule, fr *FaultsRequest) (*RobustnessJSON, error) {
+	pol := resched.Default()
+	if fr.Policy != "" {
+		var err error
+		if pol, err = resched.ByName(fr.Policy); err != nil {
+			return nil, err
+		}
+	}
+	nominal := sch.Makespan()
+	rj := &RobustnessJSON{Policy: pol.Name(), Nominal: nominal}
+	if fr.Plan != nil {
+		rep, err := sim.Run(sch, sim.Config{Faults: fr.Plan})
+		if err != nil {
+			return nil, err
+		}
+		rj.Achieved = rep.Makespan
+		if nominal > 0 {
+			rj.Stretch = rep.Makespan / nominal
+		}
+		if frep := rep.Faults; frep != nil {
+			rj.Stranded = frep.Stranded
+			rj.Killed = frep.Killed
+			rj.Restarts = frep.Restarts
+		}
+		if len(resched.CrashEvents(fr.Plan)) > 0 {
+			r, out, err := resched.React(sch, fr.Plan, pol)
+			if err != nil {
+				return nil, err
+			}
+			rp := &RepairedJSON{
+				Chosen:   out.Chosen,
+				Makespan: r.Makespan(),
+				Frozen:   out.Frozen,
+				Lost:     out.Lost,
+				Remapped: out.Remapped,
+				Delayed:  out.Delayed,
+			}
+			if nominal > 0 {
+				rp.Stretch = r.Makespan() / nominal
+			}
+			rj.Repaired = rp
+		}
+	}
+	if fr.Rate > 0 || fr.Samples > 0 {
+		rb, err := resched.EvalRobustness(sch, resched.RobustnessConfig{
+			Samples: fr.Samples, Rate: fr.Rate, Seed: fr.Seed, Policy: pol,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rj.Samples = rb.Samples
+		cr := rb.CompletionRate
+		rj.CompletionRate = &cr
+		rj.MeanDegradation = rb.MeanDegradation
+		rj.MaxDegradation = rb.MaxDegradation
+		rj.MeanSlack = rb.MeanSlack
+	}
+	return rj, nil
+}
+
+// statusRecorder captures the response code for request metrics and
+// whether anything was written yet (a panic after the first byte cannot
+// be turned into a clean 500 anymore).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps the mux with request counting and latency recording.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps the mux with request IDs, request counting, latency
+// recording and panic containment: a panicking handler answers 500 with
+// its request ID (when the response has not started) instead of tearing
+// down the connection, and the panic is logged with its stack and
+// counted in /metrics.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.nextReqID()
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.met.ObservePanic()
+				log.Printf("service: panic serving %s %s (request %s): %v\n%s",
+					r.Method, r.URL.Path, id, p, debug.Stack())
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, "internal error (request %s)", id)
+				}
+				s.met.ObserveRequest(http.StatusInternalServerError, time.Since(start))
+				return
+			}
+			s.met.ObserveRequest(rec.status, time.Since(start))
+		}()
 		next.ServeHTTP(rec, r)
-		s.met.ObserveRequest(rec.status, time.Since(start))
 	})
 }
 
@@ -375,7 +500,41 @@ func (s *Server) parseRequest(body io.Reader) (*ScheduleRequest, algo.Algorithm,
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if err := validateFaults(req.Faults, in.P()); err != nil {
+		return nil, nil, nil, err
+	}
 	return &req, a, in, nil
+}
+
+// maxFaultSamples caps a robustness sampling request: each sample is a
+// full replay plus a reactive repair, so an unbounded count would let
+// one request monopolize a worker.
+const maxFaultSamples = 500
+
+// validateFaults rejects malformed faults blocks at parse time (400),
+// so the worker never sees one it cannot evaluate.
+func validateFaults(f *FaultsRequest, procs int) error {
+	if f == nil {
+		return nil
+	}
+	if f.Plan == nil && f.Rate == 0 {
+		return fmt.Errorf("faults block needs an explicit plan or a positive rate")
+	}
+	if err := f.Plan.Validate(procs); err != nil {
+		return err
+	}
+	if math.IsNaN(f.Rate) || f.Rate < 0 || f.Rate > 1 {
+		return fmt.Errorf("faults rate %g out of [0,1]", f.Rate)
+	}
+	if f.Samples < 0 || f.Samples > maxFaultSamples {
+		return fmt.Errorf("faults samples %d out of [0,%d]", f.Samples, maxFaultSamples)
+	}
+	if f.Policy != "" {
+		if _, err := resched.ByName(f.Policy); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // bindCommModel resolves the request's communication-model selection
@@ -416,7 +575,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key, err := cacheKey(in, a.Name(), req.Analyze, req.LinkBandwidth)
+	key, err := cacheKey(in, a.Name(), req.Analyze, req.LinkBandwidth, req.Faults)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -434,7 +593,8 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	j := &job{ctx: ctx, alg: a, in: in, analyze: req.Analyze, key: key, done: make(chan jobResult, 1)}
+	reqID, _ := r.Context().Value(reqIDKey{}).(string)
+	j := &job{ctx: ctx, alg: a, in: in, analyze: req.Analyze, faults: req.Faults, key: key, reqID: reqID, done: make(chan jobResult, 1)}
 	select {
 	case s.jobs <- j:
 	default:

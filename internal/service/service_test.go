@@ -338,6 +338,9 @@ func TestOverloadAnswers503(t *testing.T) {
 			return slow, nil
 		},
 	})
+	// The client retries 503s by default, which would mask the raw
+	// overload surface this test pins down.
+	c.Retry = &service.RetryPolicy{MaxAttempts: 1}
 
 	inst := instanceJSON(t, testfix.Topcuoglu())
 	const n = 6

@@ -23,6 +23,7 @@ type serverMetrics struct {
 	latCounts []int64 // per bucket, non-cumulative; rendered cumulative
 	latCount  int64
 	latSumMs  float64
+	panics    int64
 	// Per-algorithm makespan and scheduling-runtime accumulators over
 	// uncached successful runs.
 	algMakespan map[string]*metrics.Accumulator
@@ -52,6 +53,13 @@ func (m *serverMetrics) ObserveRequest(status int, elapsed time.Duration) {
 	m.latCounts[i]++
 	m.latCount++
 	m.latSumMs += ms
+}
+
+// ObservePanic records one recovered handler or worker panic.
+func (m *serverMetrics) ObservePanic() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panics++
 }
 
 // ObserveRun records one successful uncached scheduling run.
@@ -89,6 +97,7 @@ func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, c
 	var out MetricsSnapshot
 	out.UptimeSec = time.Since(m.start).Seconds()
 	out.Requests.Total = m.total
+	out.Requests.Panics = m.panics
 	out.Requests.ByStatus = make(map[string]int64, len(m.byStatus))
 	for code, n := range m.byStatus {
 		out.Requests.ByStatus[statusLabel(code)] = n

@@ -2,6 +2,8 @@ package service
 
 import (
 	"encoding/json"
+
+	"dagsched/internal/sim"
 )
 
 // ScheduleRequest is the wire form of one scheduling query. Exactly one
@@ -35,6 +37,9 @@ type ScheduleRequest struct {
 	// Analyze adds per-task slack, the critical set and per-processor
 	// idle time to the response.
 	Analyze bool `json:"analyze,omitempty"`
+	// Faults asks for a robustness evaluation of the computed schedule;
+	// the response carries a Robustness block. Nil skips it.
+	Faults *FaultsRequest `json:"faults,omitempty"`
 	// TimeoutMs caps this request's scheduling time. Zero applies the
 	// server default; values above the server maximum are clamped.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
@@ -58,6 +63,68 @@ type ScheduleResponse struct {
 	Cached      bool             `json:"cached"`
 	Assignments []AssignmentJSON `json:"assignments"`
 	Analysis    *AnalysisJSON    `json:"analysis,omitempty"`
+	Robustness  *RobustnessJSON  `json:"robustness,omitempty"`
+}
+
+// FaultsRequest selects the robustness evaluation of a scheduling query.
+// Plan replays one explicit fault plan (degradation report + reactive
+// repair when it contains permanent crashes); Rate/Samples/Seed draw
+// sampled fail-stop plans and report expected degradation under reactive
+// repair. At least one of Plan or Rate must be set; both may be.
+type FaultsRequest struct {
+	// Plan is an explicit fault plan (see sim.FaultPlan wire form).
+	Plan *sim.FaultPlan `json:"plan,omitempty"`
+	// Rate is the per-processor permanent-crash probability per sample,
+	// in [0,1]; Samples (default 20, max 500) and Seed control the draw.
+	Rate    float64 `json:"rate,omitempty"`
+	Samples int     `json:"samples,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	// Policy names the repair policy ("remap-stranded",
+	// "reschedule-suffix" or "auto"; default "auto").
+	Policy string `json:"policy,omitempty"`
+}
+
+// RobustnessJSON is the robustness block of a response.
+type RobustnessJSON struct {
+	// Policy is the repair policy that was applied.
+	Policy string `json:"policy"`
+	// Nominal is the analytic makespan of the unfaulted schedule.
+	Nominal float64 `json:"nominal"`
+	// Explicit-plan replay (present when the request carried a plan):
+	// Achieved is the faulted replay makespan over completed tasks,
+	// Stretch divides it by Nominal, Stranded lists tasks that never
+	// ran, Killed/Restarts count executions destroyed and retried.
+	Achieved float64 `json:"achieved,omitempty"`
+	Stretch  float64 `json:"stretch,omitempty"`
+	Stranded []int   `json:"stranded,omitempty"`
+	Killed   int     `json:"killed,omitempty"`
+	Restarts int     `json:"restarts,omitempty"`
+	// Repaired summarizes the reactive repair of the explicit plan
+	// (present when the plan contains permanent crashes).
+	Repaired *RepairedJSON `json:"repaired,omitempty"`
+	// Sampled expectation (present when the request carried a rate):
+	// CompletionRate is the fraction of sampled fault plans the
+	// unrepaired schedule survived; Mean/MaxDegradation are over the
+	// repaired makespans normalized by Nominal; MeanSlack is the
+	// schedule's fault-independent makespan slack.
+	Samples         int      `json:"samples,omitempty"`
+	CompletionRate  *float64 `json:"completionRate,omitempty"`
+	MeanDegradation float64  `json:"meanDegradation,omitempty"`
+	MaxDegradation  float64  `json:"maxDegradation,omitempty"`
+	MeanSlack       float64  `json:"meanSlack,omitempty"`
+}
+
+// RepairedJSON summarizes a reactive repair.
+type RepairedJSON struct {
+	// Chosen is the primitive mode the policy settled on.
+	Chosen   string  `json:"chosen"`
+	Makespan float64 `json:"makespan"`
+	// Stretch divides the repaired makespan by the nominal one.
+	Stretch float64 `json:"stretch"`
+	Frozen  int     `json:"frozen"`
+	Lost    int     `json:"lost"`
+	Remapped int    `json:"remapped"`
+	Delayed  int    `json:"delayed"`
 }
 
 // AssignmentJSON is one task copy placed on a processor.
@@ -89,6 +156,8 @@ type MetricsSnapshot struct {
 	Requests  struct {
 		Total    int64            `json:"total"`
 		ByStatus map[string]int64 `json:"byStatus"`
+		// Panics counts handler and worker panics converted to 500s.
+		Panics int64 `json:"panics"`
 	} `json:"requests"`
 	LatencyMs HistogramJSON `json:"latencyMs"`
 	Queue     struct {

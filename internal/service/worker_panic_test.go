@@ -1,0 +1,72 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/algo/suite"
+	"dagsched/internal/sched"
+	"dagsched/internal/service"
+	"dagsched/internal/testfix"
+)
+
+// panicAlg stands in for a buggy third-party algorithm plugged in
+// through Options.Resolver.
+type panicAlg struct{}
+
+func (panicAlg) Name() string { return "detonator" }
+
+func (panicAlg) Schedule(in *sched.Instance) (*sched.Schedule, error) { panic("kaboom") }
+
+// TestWorkerSurvivesPanickingAlgorithm proves the worker pool outlives
+// a panicking scheduler: the request answers 500 with its request ID,
+// and the same single worker then serves a healthy request — the pool
+// was not torn down. The panic shows up in /metrics.
+func TestWorkerSurvivesPanickingAlgorithm(t *testing.T) {
+	prev := log.Writer()
+	log.SetOutput(io.Discard)
+	defer log.SetOutput(prev)
+	_, c := startServer(t, service.Options{
+		Workers: 1,
+		Resolver: func(name string) (algo.Algorithm, error) {
+			if name == "detonator" {
+				return panicAlg{}, nil
+			}
+			return suite.ByName(name)
+		},
+	})
+	inst := instanceJSON(t, testfix.Topcuoglu())
+
+	for i := 0; i < 2; i++ {
+		_, err := c.Schedule(context.Background(), service.ScheduleRequest{Algorithm: "detonator", Instance: inst})
+		var se *service.StatusError
+		if !errors.As(err, &se) || se.Status != http.StatusInternalServerError {
+			t.Fatalf("panic round %d: got %v, want HTTP 500", i, err)
+		}
+		if !strings.Contains(se.Message, "scheduler panic") || !strings.Contains(se.Message, "req-") {
+			t.Fatalf("panic round %d: 500 body %q lacks panic marker or request ID", i, se.Message)
+		}
+	}
+
+	resp, err := c.Schedule(context.Background(), service.ScheduleRequest{Algorithm: "HEFT", Instance: inst})
+	if err != nil {
+		t.Fatalf("healthy request after panics: %v", err)
+	}
+	if resp.Makespan <= 0 {
+		t.Fatalf("healthy response %+v", resp)
+	}
+
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if snap.Requests.Panics != 2 {
+		t.Fatalf("metrics panics = %d, want 2", snap.Requests.Panics)
+	}
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// ErrProcRange is wrapped by every error caused by a processor (or link
+// endpoint) index outside the platform — a schedule rebuilt from external
+// placements, or a fault spec naming a processor the platform does not
+// have. errors.Is(err, ErrProcRange) identifies the whole class.
+var ErrProcRange = errors.New("processor index out of range")
+
+// Crash takes a processor down at time At. Until == 0 means the crash is
+// permanent (fail-stop); Until > At means the processor recovers at Until
+// (transient outage). Work in flight when the crash strikes is destroyed:
+// on a transient crash the copy restarts from scratch at Until, on a
+// permanent one it — and everything scheduled after it on that processor
+// — is stranded.
+type Crash struct {
+	Proc  int     `json:"proc"`
+	At    float64 `json:"at"`
+	Until float64 `json:"until,omitempty"`
+}
+
+// LinkFault degrades communication on matching links during [At, Until)
+// (Until == 0 means forever). From/To select the link; -1 is a wildcard
+// matching every source or destination. Outage defers any transfer that
+// would start inside the window to its end; otherwise Factor (≥ 1)
+// multiplies the duration of transfers starting inside the window.
+type LinkFault struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	At     float64 `json:"at"`
+	Until  float64 `json:"until,omitempty"`
+	Outage bool    `json:"outage,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// FaultPlan is a deterministic, seedable set of runtime faults injected
+// into a replay. The zero plan injects nothing.
+type FaultPlan struct {
+	Crashes []Crash     `json:"crashes,omitempty"`
+	Links   []LinkFault `json:"links,omitempty"`
+	// Jitter perturbs every copy's execution time multiplicatively by
+	// (1 + Jitter×u), u uniform in [−1, 1), drawn from an rng seeded with
+	// Seed — an independent stream from Config.Noise, so a fault plan
+	// reproduces bit-identically regardless of the noise settings.
+	Jitter float64 `json:"jitter,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+}
+
+// Validate checks the plan's internal consistency. procs > 0 additionally
+// range-checks every processor index against the platform; procs <= 0
+// skips the range check (used when decoding a plan before an instance is
+// known).
+func (fp *FaultPlan) Validate(procs int) error {
+	if fp == nil {
+		return nil
+	}
+	if fp.Jitter < 0 || fp.Jitter >= 1 || math.IsNaN(fp.Jitter) {
+		return fmt.Errorf("sim: fault jitter %g out of [0,1)", fp.Jitter)
+	}
+	for i, c := range fp.Crashes {
+		if c.Proc < 0 || (procs > 0 && c.Proc >= procs) {
+			return fmt.Errorf("sim: crash %d names processor %d of a %d-processor platform: %w", i, c.Proc, procs, ErrProcRange)
+		}
+		if c.At < 0 || math.IsNaN(c.At) || math.IsInf(c.At, 0) {
+			return fmt.Errorf("sim: crash %d at invalid time %g", i, c.At)
+		}
+		if c.Until != 0 && (c.Until <= c.At || math.IsNaN(c.Until) || math.IsInf(c.Until, 0)) {
+			return fmt.Errorf("sim: crash %d recovery %g not after crash time %g", i, c.Until, c.At)
+		}
+	}
+	for i, l := range fp.Links {
+		for _, end := range [2]int{l.From, l.To} {
+			if end < -1 || (procs > 0 && end >= procs) {
+				return fmt.Errorf("sim: link fault %d endpoint %d of a %d-processor platform: %w", i, end, procs, ErrProcRange)
+			}
+		}
+		if l.At < 0 || math.IsNaN(l.At) || math.IsInf(l.At, 0) {
+			return fmt.Errorf("sim: link fault %d at invalid time %g", i, l.At)
+		}
+		if l.Until != 0 && (l.Until <= l.At || math.IsNaN(l.Until) || math.IsInf(l.Until, 0)) {
+			return fmt.Errorf("sim: link fault %d end %g not after start %g", i, l.Until, l.At)
+		}
+		if l.Outage {
+			if l.Factor != 0 {
+				return fmt.Errorf("sim: link fault %d is an outage and has factor %g; pick one", i, l.Factor)
+			}
+		} else if l.Factor < 1 || math.IsNaN(l.Factor) || math.IsInf(l.Factor, 0) {
+			return fmt.Errorf("sim: link fault %d slowdown factor %g < 1", i, l.Factor)
+		}
+	}
+	return nil
+}
+
+// ReadFaultPlan decodes the wire form of a fault plan (the JSON tags on
+// FaultPlan/Crash/LinkFault), rejecting unknown fields and structurally
+// invalid plans. Processor indices are range-checked later, against the
+// instance the plan is applied to.
+func ReadFaultPlan(r io.Reader) (*FaultPlan, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var fp FaultPlan
+	if err := dec.Decode(&fp); err != nil {
+		return nil, fmt.Errorf("sim: decoding fault plan: %w", err)
+	}
+	if err := fp.Validate(0); err != nil {
+		return nil, err
+	}
+	return &fp, nil
+}
+
+// SampleCrashes draws a random fail-stop plan: every processor crashes
+// permanently with probability rate, at a time uniform in [0, horizon).
+// At least one processor always survives — when the draw would fell the
+// whole platform, the latest crash is dropped (the repair that matters is
+// still exercised, and an all-dead platform has no meaningful repair).
+// Deterministic per seed.
+func SampleCrashes(procs int, rate, horizon float64, seed int64) FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	var cs []Crash
+	for p := 0; p < procs; p++ {
+		if rng.Float64() < rate {
+			cs = append(cs, Crash{Proc: p, At: rng.Float64() * horizon})
+		}
+	}
+	if len(cs) == procs && procs > 0 {
+		last := 0
+		for i := 1; i < len(cs); i++ {
+			if cs[i].At >= cs[last].At {
+				last = i
+			}
+		}
+		cs = append(cs[:last], cs[last+1:]...)
+	}
+	return FaultPlan{Crashes: cs, Seed: seed}
+}
+
+// FaultReport summarizes how a faulted replay degraded relative to the
+// nominal schedule.
+type FaultReport struct {
+	// Nominal is the analytic makespan the schedule promised.
+	Nominal float64
+	// Completed counts tasks whose primary copy actually finished;
+	// Stranded lists (ascending) the tasks that could not run because
+	// their processor died or their inputs were unreachable.
+	Completed int
+	Stranded  []int
+	// Killed counts copy executions destroyed mid-flight by a crash;
+	// Restarts counts the re-executions after transient recoveries
+	// (a permanent crash kills without a restart).
+	Killed, Restarts int
+}
+
+// window is a half-open downtime interval [from, to); to == +Inf for a
+// permanent crash.
+type window struct{ from, to float64 }
+
+// downWindows collects each processor's downtime windows, sorted by
+// start. Overlap is allowed; execution resolution walks them in order.
+func (fp *FaultPlan) downWindows(procs int) [][]window {
+	downs := make([][]window, procs)
+	for _, c := range fp.Crashes {
+		to := math.Inf(1)
+		if c.Until > 0 {
+			to = c.Until
+		}
+		downs[c.Proc] = append(downs[c.Proc], window{c.At, to})
+	}
+	for p := range downs {
+		sort.Slice(downs[p], func(i, j int) bool { return downs[p][i].from < downs[p][j].from })
+	}
+	return downs
+}
+
+// execute resolves one copy execution of length dur on a processor with
+// the given downtime windows, beginning no earlier than t. It returns the
+// actual start and finish (finish == +Inf when a permanent window strikes
+// first — the copy is stranded), how many executions a crash destroyed
+// mid-flight, and the wasted partial-execution time burned before each
+// kill. A copy whose start falls inside a transient window simply waits
+// for recovery; that is a delay, not a kill.
+func execute(downs []window, t, dur float64) (start, finish float64, killed int, wasted float64) {
+	const eps = 1e-9
+	start = t
+	for _, w := range downs {
+		if start >= w.to {
+			continue // already recovered when we get here
+		}
+		if start+dur <= w.from+eps {
+			break // completes before the window opens
+		}
+		if start >= w.from {
+			start = w.to // was down at start: wait for recovery
+			if math.IsInf(start, 1) {
+				return start, math.Inf(1), killed, wasted
+			}
+			continue
+		}
+		// Started before the window, still running when it opens: killed.
+		killed++
+		wasted += w.from - start
+		if math.IsInf(w.to, 1) {
+			return start, math.Inf(1), killed, wasted
+		}
+		start = w.to // transient: restart from scratch after recovery
+	}
+	return start, start + dur, killed, wasted
+}
+
+// adjustTransfer applies the plan's link faults to a transfer on
+// from→to that becomes ready at ready with nominal duration dur: the
+// start is deferred past any outage window it falls into, and the
+// duration is stretched by the largest slowdown factor of the windows the
+// (possibly deferred) start lands in. A never-ending outage returns
+// start == +Inf: the data cannot be delivered.
+func (fp *FaultPlan) adjustTransfer(from, to int, ready, dur float64) (start, adjDur float64) {
+	start, adjDur = ready, dur
+	// Each pass either settles or jumps past one outage window, so
+	// len(Links)+1 passes always suffice.
+	for pass := 0; pass <= len(fp.Links); pass++ {
+		moved := false
+		factor := 1.0
+		for _, l := range fp.Links {
+			if (l.From != -1 && l.From != from) || (l.To != -1 && l.To != to) {
+				continue
+			}
+			end := math.Inf(1)
+			if l.Until > 0 {
+				end = l.Until
+			}
+			if start < l.At || start >= end {
+				continue
+			}
+			if l.Outage {
+				start = end
+				moved = true
+				break
+			}
+			if l.Factor > factor {
+				factor = l.Factor
+			}
+		}
+		if math.IsInf(start, 1) {
+			return start, adjDur
+		}
+		if !moved {
+			return start, dur * factor
+		}
+	}
+	return start, adjDur
+}

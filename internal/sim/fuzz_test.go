@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFaultPlan hardens the wire decoder: whatever bytes arrive, the
+// decoder must never panic, and any plan it accepts must be structurally
+// valid and survive a marshal/decode round trip (the canonical form a
+// service would echo back).
+func FuzzFaultPlan(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"crashes":[{"proc":1,"at":3.5}],"jitter":0.1,"seed":9}`))
+	f.Add([]byte(`{"crashes":[{"proc":0,"at":2,"until":4}]}`))
+	f.Add([]byte(`{"links":[{"from":-1,"to":0,"at":1,"until":2,"factor":4}]}`))
+	f.Add([]byte(`{"links":[{"from":0,"to":1,"at":0,"outage":true}]}`))
+	f.Add([]byte(`{"crashes":[{"proc":-1,"at":-5}],"jitter":2}`))
+	f.Add([]byte(`{"crashes":[{"proc":1e99,"at":1e308}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, err := ReadFaultPlan(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := fp.Validate(0); verr != nil {
+			t.Fatalf("accepted plan fails validation: %v", verr)
+		}
+		wire, err := json.Marshal(fp)
+		if err != nil {
+			t.Fatalf("accepted plan does not marshal: %v", err)
+		}
+		if _, err := ReadFaultPlan(bytes.NewReader(wire)); err != nil {
+			t.Fatalf("canonical form %s rejected: %v", wire, err)
+		}
+	})
+}

@@ -3,13 +3,23 @@
 // placement decisions. With zero noise the replayed makespan equals the
 // analytic makespan exactly (a strong cross-check of the scheduling
 // machinery); with noise it measures the robustness of a static schedule
-// against runtime execution-time variation.
+// against runtime execution-time variation; with a FaultPlan it measures
+// how the schedule degrades when processors crash, links fail, and
+// execution times drift.
 //
 // Replay semantics: task-copy order per processor and the data routing
 // between copies are fixed at schedule time, as in a real static runtime.
 // Each copy starts as soon as its processor is free and the data from its
 // designated source copies has arrived; actual execution times are the
 // estimates perturbed multiplicatively by the noise factor.
+//
+// Fault semantics: a copy running when its processor crashes is
+// destroyed (restarted at recovery if the crash is transient, stranded if
+// permanent); tasks whose every copy is destroyed strand their
+// consumers too, except that a consumer falls back to any surviving
+// completed copy of the predecessor. Data produced before a crash is
+// assumed buffered at the receiver or in the network, so transfers
+// survive their producer's later death.
 package sim
 
 import (
@@ -45,16 +55,27 @@ type Config struct {
 	// Nil with Contention unset replays contention-free using the
 	// schedule instance's idle costs.
 	Model platform.CommModel
+	// Faults injects the given fault plan during replay (nil injects
+	// nothing). The plan's own Seed drives its jitter stream, so the
+	// same instance and fault plan reproduce bit-identically regardless
+	// of Noise/Seed.
+	Faults *FaultPlan
 }
 
 // Report is the outcome of one replay.
 type Report struct {
-	// Makespan is the latest actual finish time of any primary copy.
+	// Makespan is the latest actual finish time of any primary copy (or,
+	// under faults, of the surviving copy standing in for a destroyed
+	// primary).
 	Makespan float64
 	// Start and Finish give actual times of every task's primary copy.
+	// Under faults, a task whose primary was destroyed reports the
+	// earliest-finishing surviving duplicate, and a stranded task (no
+	// copy completed) reports +Inf for both.
 	Start, Finish []float64
 	// BusyTime is the total executing time per processor (including
-	// duplicates); Utilization divides it by the makespan.
+	// duplicates and partial executions destroyed by crashes);
+	// Utilization divides it by the makespan.
 	BusyTime    []float64
 	Utilization []float64
 	// Stretch is the replayed makespan divided by the analytic one.
@@ -66,14 +87,29 @@ type Report struct {
 	SendTime  []float64
 	// Model is the kind of communication model the replay ran under.
 	Model string
+	// Faults is the degradation report, present iff Config.Faults was set.
+	Faults *FaultReport
 }
 
-// Run replays the schedule under cfg.
+// Run replays the schedule under cfg. A schedule that references a
+// processor index outside its platform (possible only for schedules
+// rebuilt from external placements via sched.FromAssignments) yields an
+// error wrapping ErrProcRange.
 func Run(s *sched.Schedule, cfg Config) (Report, error) {
 	if cfg.Noise < 0 || cfg.Noise >= 1 {
 		return Report{}, fmt.Errorf("sim: noise %g out of [0,1)", cfg.Noise)
 	}
 	in := s.Instance()
+	faults := cfg.Faults
+	if err := faults.Validate(in.P()); err != nil {
+		return Report{}, err
+	}
+	for _, a := range s.All() {
+		if a.Proc < 0 || a.Proc >= in.P() {
+			return Report{}, fmt.Errorf("sim: task %d placed on processor %d of a %d-processor platform: %w",
+				a.Task, a.Proc, in.P(), ErrProcRange)
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Collect all copies in global scheduled-start order. Every copy a
@@ -111,7 +147,9 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 		}
 		return cx.procSlot < cy.procSlot
 	})
-	// Perturbed durations, drawn in deterministic copy order.
+	// Perturbed durations, drawn in deterministic copy order. Fault
+	// jitter draws from its own stream so a fault plan replays
+	// bit-identically under any noise settings.
 	durs := make([]float64, len(copies))
 	for i, c := range copies {
 		d := c.a.Duration()
@@ -119,6 +157,12 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 			d *= 1 + cfg.Noise*(2*rng.Float64()-1)
 		}
 		durs[i] = d
+	}
+	if faults != nil && faults.Jitter > 0 {
+		jrng := rand.New(rand.NewSource(faults.Seed))
+		for i := range durs {
+			durs[i] *= 1 + faults.Jitter*(2*jrng.Float64()-1)
+		}
 	}
 	// Routing fixed at schedule time: for consumer copy c and predecessor
 	// task m, the source is the copy of m with the earliest *scheduled*
@@ -166,35 +210,129 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 		Finish: make([]float64, in.N()),
 		Model:  modelKind,
 	}
+	var (
+		downs        [][]window
+		frep         *FaultReport
+		strandedCopy map[key]bool
+		lostPrimary  []dag.TaskID
+		// rescue holds, per task whose primary was destroyed, the
+		// earliest-finishing duplicate that did complete.
+		rescue map[dag.TaskID][2]float64
+	)
+	if faults != nil {
+		downs = faults.downWindows(in.P())
+		frep = &FaultReport{Nominal: s.Makespan()}
+		strandedCopy = make(map[key]bool)
+		rescue = make(map[dag.TaskID][2]float64)
+	}
+	strand := func(c copyRef) {
+		strandedCopy[key{c.a.Proc, c.procSlot}] = true
+		if !c.a.Dup {
+			lostPrimary = append(lostPrimary, c.a.Task)
+		}
+	}
+	// deliver computes the actual arrival of data sent from fromProc
+	// (available at f) to toProc, applying link faults and claiming
+	// network capacity under a contended model. +Inf means a permanent
+	// link outage makes delivery impossible.
+	deliver := func(fromProc, toProc int, f, data float64) float64 {
+		if fromProc == toProc {
+			return f
+		}
+		dur := commCost(fromProc, toProc, data)
+		sendReady := f
+		if faults != nil && len(faults.Links) > 0 {
+			sendReady, dur = faults.adjustTransfer(fromProc, toProc, sendReady, dur)
+			if math.IsInf(sendReady, 1) {
+				return sendReady
+			}
+		}
+		var arrival float64
+		if network != nil && dur > 0 {
+			xferStart := network.TransferStart(fromProc, toProc, sendReady, dur)
+			network.Reserve(fromProc, toProc, xferStart, dur)
+			arrival = xferStart + dur
+			sendBusy[fromProc] += dur
+		} else {
+			arrival = sendReady + dur
+		}
+		rep.Transfers++
+		return arrival
+	}
 	for i, c := range copies {
 		ready := 0.0
+		doomed := false
 		for _, pe := range in.G.Pred(c.a.Task) {
 			src := route(c, pe.To, pe.Data)
-			f, ok := actualFinish[key{src.a.Proc, src.procSlot}]
-			if !ok {
-				return Report{}, fmt.Errorf("sim: copy of task %d consumed before its source (task %d on P%d) ran", c.a.Task, src.a.Task, src.a.Proc)
-			}
+			srcKey := key{src.a.Proc, src.procSlot}
+			f, ok := actualFinish[srcKey]
 			var arrival float64
-			if src.a.Proc == c.a.Proc {
-				arrival = f
-			} else {
-				dur := commCost(src.a.Proc, c.a.Proc, pe.Data)
-				if network != nil && dur > 0 {
-					xferStart := network.TransferStart(src.a.Proc, c.a.Proc, f, dur)
-					network.Reserve(src.a.Proc, c.a.Proc, xferStart, dur)
-					arrival = xferStart + dur
-					sendBusy[src.a.Proc] += dur
-				} else {
-					arrival = f + dur
+			switch {
+			case ok:
+				arrival = deliver(src.a.Proc, c.a.Proc, f, pe.Data)
+			case strandedCopy[srcKey]:
+				// The designated source was destroyed: fall back to the
+				// surviving completed copy with the earliest actual
+				// arrival, or strand the consumer if none exists.
+				bestFrom, bestF := -1, 0.0
+				arrival = math.Inf(1)
+				for _, d := range byTask[pe.To] {
+					df, dok := actualFinish[key{d.a.Proc, d.procSlot}]
+					if !dok {
+						continue
+					}
+					var arr float64
+					if d.a.Proc == c.a.Proc {
+						arr = df
+					} else {
+						dur := commCost(d.a.Proc, c.a.Proc, pe.Data)
+						sendReady := df
+						if len(faults.Links) > 0 {
+							sendReady, dur = faults.adjustTransfer(d.a.Proc, c.a.Proc, sendReady, dur)
+						}
+						if network != nil && dur > 0 && !math.IsInf(sendReady, 1) {
+							arr = network.TransferStart(d.a.Proc, c.a.Proc, sendReady, dur) + dur
+						} else {
+							arr = sendReady + dur
+						}
+					}
+					if arr < arrival {
+						arrival, bestFrom, bestF = arr, d.a.Proc, df
+					}
 				}
-				rep.Transfers++
+				if bestFrom >= 0 {
+					arrival = deliver(bestFrom, c.a.Proc, bestF, pe.Data)
+				}
+			default:
+				return Report{}, fmt.Errorf("sim: copy of task %d consumed before its source (task %d on P%d) ran",
+					c.a.Task, src.a.Task, src.a.Proc)
+			}
+			if math.IsInf(arrival, 1) {
+				doomed = true
+				break
 			}
 			if arrival > ready {
 				ready = arrival
 			}
 		}
+		if doomed {
+			strand(c)
+			continue
+		}
 		start := math.Max(ready, procFree[c.a.Proc])
 		finish := start + durs[i]
+		if faults != nil {
+			var killed int
+			var wasted float64
+			start, finish, killed, wasted = execute(downs[c.a.Proc], start, durs[i])
+			frep.Killed += killed
+			busy[c.a.Proc] += wasted
+			if math.IsInf(finish, 1) {
+				strand(c)
+				continue
+			}
+			frep.Restarts += killed
+		}
 		procFree[c.a.Proc] = finish
 		busy[c.a.Proc] += durs[i]
 		actualFinish[key{c.a.Proc, c.procSlot}] = finish
@@ -204,7 +342,27 @@ func Run(s *sched.Schedule, cfg Config) (Report, error) {
 			if finish > rep.Makespan {
 				rep.Makespan = finish
 			}
+		} else if faults != nil {
+			if r, ok := rescue[c.a.Task]; !ok || finish < r[1] {
+				rescue[c.a.Task] = [2]float64{start, finish}
+			}
 		}
+	}
+	if faults != nil {
+		for _, t := range lostPrimary {
+			if r, ok := rescue[t]; ok {
+				rep.Start[t], rep.Finish[t] = r[0], r[1]
+				if r[1] > rep.Makespan {
+					rep.Makespan = r[1]
+				}
+				continue
+			}
+			rep.Start[t], rep.Finish[t] = math.Inf(1), math.Inf(1)
+			frep.Stranded = append(frep.Stranded, int(t))
+		}
+		sort.Ints(frep.Stranded)
+		frep.Completed = in.N() - len(frep.Stranded)
+		rep.Faults = frep
 	}
 	rep.BusyTime = busy
 	rep.SendTime = sendBusy
