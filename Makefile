@@ -33,12 +33,13 @@ race:
 # cache, graceful shutdown), the speculative-transaction layer (including
 # cloned comm-state trials under contended models), the ILS trial
 # machinery, the contention-aware wrappers, the differential suite
-# with the per-processor trial workers forced on, and the fault
+# with the per-processor trial workers forced on, the fault
 # replay/repair path (exercised concurrently through the service and
-# experiment tiers). `race` already covers them once; this tier re-runs
-# them with fresh state so interleavings differ between passes.
+# experiment tiers), and the adversary's parallel population evaluator.
+# `race` already covers them once; this tier re-runs them with fresh
+# state so interleavings differ between passes.
 race-concurrent:
-	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/algo/suite ./internal/core ./internal/algo/contention ./internal/sim ./internal/algo/resched
+	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/algo/suite ./internal/core ./internal/algo/contention ./internal/sim ./internal/algo/resched ./internal/adversary
 
 # One iteration of the scheduler-throughput benchmark at every size,
 # plus the transaction-layer micro-benchmarks (trial begin/rollback,
@@ -49,6 +50,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTxn|BenchmarkTryDuplication' -benchtime 1x ./internal/sched ./internal/algo
 	$(GO) test -run '^$$' -bench 'BenchmarkMCPScaling' -benchtime 1x ./internal/algo/listsched
 	$(GO) test -run '^$$' -bench 'BenchmarkILSEndToEnd' -benchtime 1x ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkPopulationEval' -benchtime 1x ./internal/adversary
 
 # A few seconds of coverage-guided fuzzing per parser entry point.
 fuzz-smoke:
@@ -57,6 +59,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadGraphJSON -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz FuzzScheduleRequest -fuzztime 5s ./internal/service
 	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 5s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzSpec -fuzztime 5s ./internal/adversary
 
 # Regenerate BENCH_sched.json (real measurement; takes a minute).
 scale:

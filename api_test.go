@@ -128,7 +128,7 @@ func TestOptimalThroughFacade(t *testing.T) {
 }
 
 func TestExperimentsThroughFacade(t *testing.T) {
-	if len(dagsched.Experiments()) != 21 {
+	if len(dagsched.Experiments()) != 23 {
 		t.Fatalf("suite size %d", len(dagsched.Experiments()))
 	}
 	e, err := dagsched.ExperimentByID("E1")

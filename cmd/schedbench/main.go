@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	schedbench                  # the full suite E1..E16 as markdown
+//	schedbench                  # the full suite E1..E23 as markdown
 //	schedbench -exp E2,E9       # selected experiments
 //	schedbench -quick           # reduced sweeps (seconds instead of minutes)
 //	schedbench -reps 50 -seed 7 # more repetitions, different seed

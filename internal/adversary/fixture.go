@@ -1,0 +1,141 @@
+package adversary
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dagsched/internal/sched"
+)
+
+// Fixture records one adversarially-found instance: the genome, the
+// search that found it, the observed gap, and the serialized instance
+// file it decodes to. Fixtures live under testdata/adversarial/ and are
+// permanent stress cases for the golden suite.
+type Fixture struct {
+	// Name is the fixture's identifier and file stem.
+	Name string `json:"name"`
+	// Attacker and Victim name the registry algorithms of the search.
+	Attacker string `json:"attacker"`
+	Victim   string `json:"victim"`
+	// Method and Seed reproduce the search.
+	Method string `json:"method"`
+	Seed   int64  `json:"seed"`
+	// Ratio is victim/attacker makespan on the instance; BaseRatio the
+	// same on the unperturbed base spec.
+	Ratio     float64 `json:"ratio"`
+	BaseRatio float64 `json:"baseRatio"`
+	// AttackerMakespan and VictimMakespan pin the two makespans.
+	AttackerMakespan float64 `json:"attackerMakespan"`
+	VictimMakespan   float64 `json:"victimMakespan"`
+	// InstanceDigest pins the serialized instance bytes.
+	InstanceDigest string `json:"instanceDigest"`
+	// File is the instance JSON, relative to the manifest directory.
+	File string `json:"file"`
+	// Spec is the genome that decodes to the instance.
+	Spec Spec `json:"spec"`
+}
+
+// Manifest indexes a fixture directory.
+type Manifest struct {
+	Version  int       `json:"version"`
+	Fixtures []Fixture `json:"fixtures"`
+}
+
+// manifestName is the index file inside a fixture directory.
+const manifestName = "manifest.json"
+
+// Digest returns the hex SHA-256 of the instance's canonical JSON
+// serialization — the identity used by determinism and drift tests.
+func Digest(in *sched.Instance) (string, error) {
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ReadManifest loads dir/manifest.json.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("adversary: reading manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// WriteManifest writes the manifest (fixtures sorted by name) to
+// dir/manifest.json.
+func (m *Manifest) Write(dir string) error {
+	sort.Slice(m.Fixtures, func(i, j int) bool { return m.Fixtures[i].Name < m.Fixtures[j].Name })
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), append(data, '\n'), 0o644)
+}
+
+// Load reads and parses the fixture's instance file, verifying the
+// pinned digest so silent corruption of checked-in fixtures is caught.
+func (f *Fixture) Load(dir string) (*sched.Instance, error) {
+	data, err := os.ReadFile(filepath.Join(dir, f.File))
+	if err != nil {
+		return nil, err
+	}
+	in, err := sched.ReadInstanceJSON(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("adversary: fixture %s: %w", f.Name, err)
+	}
+	d, err := Digest(in)
+	if err != nil {
+		return nil, err
+	}
+	if d != f.InstanceDigest {
+		return nil, fmt.Errorf("adversary: fixture %s: instance digest %s does not match pinned %s", f.Name, d, f.InstanceDigest)
+	}
+	return in, nil
+}
+
+// SaveFixture serializes a search result into dir as name.json and
+// returns the fixture record (not yet in any manifest).
+func SaveFixture(dir, name string, base Spec, cfg Config, res *Result) (*Fixture, error) {
+	if res.Instance == nil {
+		return nil, fmt.Errorf("adversary: result has no instance")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := res.Instance.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	file := name + ".json"
+	if err := os.WriteFile(filepath.Join(dir, file), buf.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return &Fixture{
+		Name:             name,
+		Attacker:         cfg.Attacker.Name(),
+		Victim:           cfg.Victim.Name(),
+		Method:           cfg.Method,
+		Seed:             cfg.Seed,
+		Ratio:            res.Ratio,
+		BaseRatio:        res.BaseRatio,
+		AttackerMakespan: res.AttackerMakespan,
+		VictimMakespan:   res.VictimMakespan,
+		InstanceDigest:   hex.EncodeToString(sum[:]),
+		File:             file,
+		Spec:             res.Best,
+	}, nil
+}

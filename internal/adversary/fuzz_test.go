@@ -1,0 +1,46 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSpec hammers the genome decoder: arbitrary bytes must either
+// parse into a spec that validates and decodes into a valid instance,
+// or return an error — never panic, never produce a non-finite cost.
+func FuzzSpec(f *testing.F) {
+	f.Add([]byte(`{"n":8,"procs":2,"baseSeed":1}`))
+	f.Add([]byte(`{"n":12,"procs":3,"ccr":5,"beta":1.0,"baseSeed":42,"taskMult":[1,2,0.5,1,1,1,1,1,1,1,1,1]}`))
+	f.Add([]byte(`{"n":1,"procs":1,"baseSeed":0}`))
+	f.Add([]byte(`{"n":5,"procs":2,"baseSeed":1,"ccr":1e309}`))
+	f.Add([]byte(`{"n":5,"procs":2,"baseSeed":1,"edgeMult":[8.0001]}`))
+	f.Add([]byte(`{"n":-3,"procs":2,"baseSeed":1}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		in, err := s.Decode()
+		if err != nil {
+			// A parsed spec may still fail decode (e.g. edge multiplier
+			// length mismatch) — that must be an error, not a panic.
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("decoded spec fails re-validation: %v", err)
+		}
+		for i, row := range in.W {
+			for p, v := range row {
+				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("W[%d][%d] = %g: decoded instance has non-positive or non-finite cost", i, p, v)
+				}
+			}
+		}
+		for _, e := range in.G.Edges() {
+			if e.Data < 0 || math.IsNaN(e.Data) || math.IsInf(e.Data, 0) {
+				t.Fatalf("edge %d->%d data %g non-finite or negative", e.From, e.To, e.Data)
+			}
+		}
+	})
+}

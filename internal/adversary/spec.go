@@ -1,0 +1,213 @@
+// Package adversary searches the *instance space* for worst cases: it
+// retargets the hill-climbing / annealing / genetic neighborhood
+// machinery of the schedule-space searchers at problem instances, PISA-
+// style (arXiv:2403.07120). A genome (Spec) encodes a perturbable
+// instance — random-DAG shape knobs plus per-task and per-edge
+// multiplier vectors — and fitness is the makespan ratio between two
+// registry algorithms on the decoded instance. Found instances are
+// serialized into testdata/adversarial/ and become permanent stress
+// fixtures of the golden suite.
+package adversary
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/sched"
+	"dagsched/internal/workload"
+)
+
+// Genome bounds. Decoding rejects anything outside them, so a fuzzer
+// (or a malformed spec file) can never panic the harness or blow memory.
+const (
+	// MaxTasks bounds the task count of a decoded instance.
+	MaxTasks = 512
+	// MaxProcs bounds the processor count.
+	MaxProcs = 64
+	// MaxOutDegree bounds the random-DAG out-degree knob.
+	MaxOutDegree = 32
+	// MaxShape bounds the random-DAG shape knob.
+	MaxShape = 8
+	// MaxCCR bounds the target communication-to-computation ratio.
+	MaxCCR = 64
+	// MinMult and MaxMult bound every per-task and per-edge multiplier:
+	// the adversary can reweight an instance by up to 64x end to end but
+	// can never produce zero, negative or non-finite costs, so every
+	// decoded genome stays a valid, schedulable instance (DESIGN.md
+	// invariant 11).
+	MinMult = 0.125
+	MaxMult = 8
+)
+
+// Spec is the adversarial instance genome: deterministic base-instance
+// knobs (fed to workload.Random + workload.MakeInstance under BaseSeed)
+// plus multiplier vectors the search perturbs. TaskMult[i] scales task
+// i's whole execution-cost row (preserving the heterogeneity pattern);
+// EdgeMult[k] scales the data volume of the k-th edge in Graph.Edges()
+// order. Empty vectors mean "all ones".
+type Spec struct {
+	// N is the task count (required, 1..MaxTasks).
+	N int `json:"n"`
+	// Shape is the random-DAG shape α (0 = generator default 1).
+	Shape float64 `json:"shape,omitempty"`
+	// OutDegree is the max out-degree (0 = generator default 4).
+	OutDegree int `json:"outDegree,omitempty"`
+	// Procs is the processor count (required, 1..MaxProcs).
+	Procs int `json:"procs"`
+	// CCR is the target communication-to-computation ratio (0 keeps the
+	// graph's natural volumes).
+	CCR float64 `json:"ccr,omitempty"`
+	// Beta is the cost-matrix heterogeneity in [0, 2).
+	Beta float64 `json:"beta,omitempty"`
+	// BaseSeed drives the base-instance draw.
+	BaseSeed int64 `json:"baseSeed"`
+	// TaskMult holds per-task cost multipliers (len 0 or N).
+	TaskMult []float64 `json:"taskMult,omitempty"`
+	// EdgeMult holds per-edge data multipliers (len 0 or edge count).
+	EdgeMult []float64 `json:"edgeMult,omitempty"`
+}
+
+// inRange reports lo <= v <= hi, rejecting NaN and infinities (NaN
+// fails every comparison, so the explicit form is required).
+func inRange(v, lo, hi float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= lo && v <= hi
+}
+
+// Validate checks every knob and multiplier against the genome bounds.
+// It does not check the multiplier vector lengths against the edge
+// count — that needs the generated graph and happens in Decode.
+func (s *Spec) Validate() error {
+	if s.N < 1 || s.N > MaxTasks {
+		return fmt.Errorf("adversary: task count %d out of [1,%d]", s.N, MaxTasks)
+	}
+	if s.Procs < 1 || s.Procs > MaxProcs {
+		return fmt.Errorf("adversary: processor count %d out of [1,%d]", s.Procs, MaxProcs)
+	}
+	if !inRange(s.Shape, 0, MaxShape) {
+		return fmt.Errorf("adversary: shape %g out of [0,%d]", s.Shape, MaxShape)
+	}
+	if s.OutDegree < 0 || s.OutDegree > MaxOutDegree {
+		return fmt.Errorf("adversary: out-degree %d out of [0,%d]", s.OutDegree, MaxOutDegree)
+	}
+	if !inRange(s.CCR, 0, MaxCCR) {
+		return fmt.Errorf("adversary: CCR %g out of [0,%d]", s.CCR, MaxCCR)
+	}
+	if !inRange(s.Beta, 0, 2) || s.Beta >= 2 {
+		return fmt.Errorf("adversary: beta %g out of [0,2)", s.Beta)
+	}
+	if len(s.TaskMult) != 0 && len(s.TaskMult) != s.N {
+		return fmt.Errorf("adversary: %d task multipliers for %d tasks", len(s.TaskMult), s.N)
+	}
+	for i, m := range s.TaskMult {
+		if !inRange(m, MinMult, MaxMult) {
+			return fmt.Errorf("adversary: task multiplier [%d] = %g out of [%g,%g]", i, m, float64(MinMult), float64(MaxMult))
+		}
+	}
+	for i, m := range s.EdgeMult {
+		if !inRange(m, MinMult, MaxMult) {
+			return fmt.Errorf("adversary: edge multiplier [%d] = %g out of [%g,%g]", i, m, float64(MinMult), float64(MaxMult))
+		}
+	}
+	return nil
+}
+
+// ParseSpec decodes and validates a JSON genome. Unknown fields are
+// rejected; any malformed, non-finite or out-of-range input returns an
+// error, never a panic.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("adversary: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Decode materializes the genome into a concrete problem instance:
+// draw the deterministic base instance from the knobs, then apply the
+// multiplier vectors. The same spec always decodes to the bit-identical
+// instance.
+func (s *Spec) Decode() (*sched.Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.BaseSeed))
+	g, err := workload.Random(workload.RandomConfig{N: s.N, Shape: s.Shape, OutDegree: s.OutDegree}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
+	base, err := workload.MakeInstance(g, workload.HetConfig{Procs: s.Procs, CCR: s.CCR, Beta: s.Beta}, rng)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
+	return s.apply(base)
+}
+
+// apply rebuilds the base instance under the multiplier vectors.
+func (s *Spec) apply(base *sched.Instance) (*sched.Instance, error) {
+	g := base.G
+	if len(s.EdgeMult) != 0 && len(s.EdgeMult) != g.NumEdges() {
+		return nil, fmt.Errorf("adversary: %d edge multipliers for %d edges", len(s.EdgeMult), g.NumEdges())
+	}
+	if len(s.TaskMult) == 0 && len(s.EdgeMult) == 0 {
+		return base, nil
+	}
+	scaled := g
+	if len(s.EdgeMult) > 0 {
+		b := dag.NewBuilder(g.Name())
+		for _, t := range g.Tasks() {
+			b.AddTask(t.Name, t.Weight)
+		}
+		for k, e := range g.Edges() {
+			b.AddEdge(e.From, e.To, e.Data*s.EdgeMult[k])
+		}
+		var err error
+		scaled, err = b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("adversary: %w", err)
+		}
+	}
+	w := base.W
+	if len(s.TaskMult) > 0 {
+		w = make([][]float64, len(base.W))
+		for i, row := range base.W {
+			w[i] = make([]float64, len(row))
+			for p, v := range row {
+				w[i][p] = v * s.TaskMult[i]
+			}
+		}
+	}
+	return sched.NewInstance(scaled, base.Sys, w)
+}
+
+// materialize fills in explicit all-ones multiplier vectors sized for
+// the decoded instance, giving the search its full gene set.
+func (s *Spec) materialize(edges int) {
+	if len(s.TaskMult) == 0 {
+		s.TaskMult = make([]float64, s.N)
+		for i := range s.TaskMult {
+			s.TaskMult[i] = 1
+		}
+	}
+	if len(s.EdgeMult) == 0 {
+		s.EdgeMult = make([]float64, edges)
+		for i := range s.EdgeMult {
+			s.EdgeMult[i] = 1
+		}
+	}
+}
+
+// clone deep-copies the genome.
+func (s Spec) clone() Spec {
+	s.TaskMult = append([]float64(nil), s.TaskMult...)
+	s.EdgeMult = append([]float64(nil), s.EdgeMult...)
+	return s
+}

@@ -1,0 +1,168 @@
+package listsched_test
+
+import (
+	"context"
+	"testing"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/algo/listsched"
+	"dagsched/internal/sched"
+	"dagsched/internal/testfix"
+)
+
+// pairings maps each canonical baseline to the grid point that must
+// reproduce it bit for bit.
+func pairings() []struct {
+	base  algo.Algorithm
+	param listsched.Param
+} {
+	return []struct {
+		base  algo.Algorithm
+		param listsched.Param
+	}{
+		{listsched.HEFT{}, listsched.HEFTParam()},
+		{listsched.CPOP{}, listsched.CPOPParam()},
+		{listsched.HLFET{}, listsched.HLFETParam()},
+		{listsched.ETF{}, listsched.ETFParam()},
+	}
+}
+
+// TestParamReproducesBaselinesOnGoldens proves the parameterized
+// scheduler is an exact factoring: at the HEFT/CPOP/HLFET/ETF component
+// settings it produces placement-digest-identical schedules to the
+// dedicated implementations on every golden instance — and therefore
+// matches the committed goldens themselves.
+func TestParamReproducesBaselinesOnGoldens(t *testing.T) {
+	golden, err := testfix.Golden()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ni := range testfix.GoldenInstances() {
+		for _, pair := range pairings() {
+			want, err := pair.base.Schedule(ni.In)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", pair.base.Name(), ni.Name, err)
+			}
+			got, err := pair.param.Schedule(ni.In)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", pair.param.Name(), ni.Name, err)
+			}
+			wantD, gotD := testfix.ScheduleDigest(want), testfix.ScheduleDigest(got)
+			if wantD != gotD {
+				t.Errorf("%s on %s: param digest differs from %s (makespans %v vs %v)",
+					pair.param.Name(), ni.Name, pair.base.Name(), got.Makespan(), want.Makespan())
+			}
+			// And against the committed golden record directly, so the
+			// equivalence is anchored to the frozen fixtures, not just to
+			// the current baseline implementation.
+			if rec, ok := golden[ni.Name][pair.base.Name()]; ok {
+				if gotD != rec.Digest {
+					t.Errorf("%s on %s: param digest drifted from committed %s golden",
+						pair.param.Name(), ni.Name, pair.base.Name())
+				}
+				if got.Makespan() != rec.Makespan {
+					t.Errorf("%s on %s: param makespan %v, golden %v",
+						pair.param.Name(), ni.Name, got.Makespan(), rec.Makespan)
+				}
+			}
+		}
+	}
+}
+
+// TestParamReproducesBaselinesOnBattery is the differential property
+// test over a fresh random battery: same digests on instances the
+// goldens never saw.
+func TestParamReproducesBaselinesOnBattery(t *testing.T) {
+	testfix.Battery(testfix.BatteryConfig{Trials: 25, MaxTasks: 45, Seed: 22001}, func(trial int, in *sched.Instance) {
+		for _, pair := range pairings() {
+			want, err := pair.base.Schedule(in)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, pair.base.Name(), err)
+			}
+			got, err := pair.param.Schedule(in)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, pair.param.Name(), err)
+			}
+			if testfix.ScheduleDigest(want) != testfix.ScheduleDigest(got) {
+				t.Errorf("trial %d: %s digest differs from %s", trial, pair.param.Name(), pair.base.Name())
+			}
+		}
+	})
+}
+
+// TestGridAllValidate runs every grid point over a small battery and
+// requires valid schedules — the grid contains no broken compositions.
+func TestGridAllValidate(t *testing.T) {
+	grid := listsched.Grid()
+	if len(grid) < 40 {
+		t.Fatalf("grid has only %d points", len(grid))
+	}
+	seen := map[string]bool{}
+	for _, pm := range grid {
+		if seen[pm.String()] {
+			t.Fatalf("duplicate grid point %s", pm)
+		}
+		seen[pm.String()] = true
+	}
+	for _, want := range []listsched.Param{listsched.HEFTParam(), listsched.CPOPParam(), listsched.HLFETParam(), listsched.ETFParam()} {
+		if !seen[want.String()] {
+			t.Errorf("grid is missing baseline point %s", want)
+		}
+	}
+	testfix.Battery(testfix.BatteryConfig{Trials: 4, MaxTasks: 20, Seed: 22002}, func(trial int, in *sched.Instance) {
+		for _, pm := range grid {
+			s, err := pm.Schedule(in)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, pm, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("trial %d %s: invalid schedule: %v", trial, pm, err)
+			}
+		}
+	})
+}
+
+// TestParamParseRoundTrip pins the canonical naming: String and
+// ParseParam are inverses over the whole grid, and malformed names
+// error.
+func TestParamParseRoundTrip(t *testing.T) {
+	for _, pm := range listsched.Grid() {
+		got, err := listsched.ParseParam(pm.String())
+		if err != nil {
+			t.Fatalf("parse %s: %v", pm, err)
+		}
+		if got != pm {
+			t.Errorf("round trip %s -> %s", pm, got)
+		}
+	}
+	for _, bad := range []string{
+		"", "HEFT", "LS/u/static/eft/ins", "LS/x/static/eft/ins/nodup",
+		"LS/u/never/eft/ins/nodup", "LS/u/static/xxx/ins/nodup",
+		"LS/u/static/eft/maybe/nodup", "LS/u/static/eft/ins/maybe",
+	} {
+		if _, err := listsched.ParseParam(bad); err == nil {
+			t.Errorf("ParseParam(%q) accepted", bad)
+		}
+	}
+}
+
+// TestParamContextCancel proves the grid scheduler aborts promptly on an
+// already-canceled context, like every other CtxScheduler.
+func TestParamContextCancel(t *testing.T) {
+	in := testfix.Topcuoglu()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, pm := range []listsched.Param{HEFTlike(), listsched.CPOPParam()} {
+		if _, err := algo.ScheduleContext(ctx, pm, in); err == nil {
+			t.Errorf("%s: canceled context not reported", pm)
+		}
+	}
+}
+
+// HEFTlike returns a HEFT-setting Param with a display name, also
+// covering the DisplayName override.
+func HEFTlike() listsched.Param {
+	pm := listsched.HEFTParam()
+	pm.DisplayName = "HEFT*"
+	return pm
+}

@@ -1,4 +1,4 @@
-// Package experiment defines the reproduction suite E1–E13: one
+// Package experiment defines the reproduction suite E1–E23: one
 // experiment per table/figure of the evaluation, each regenerating its
 // rows from scratch with deterministic seeding. The same definitions back
 // the root-level benchmarks and the schedbench CLI.
@@ -68,7 +68,7 @@ type Experiment struct {
 func All() []Experiment {
 	return []Experiment{
 		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(), E9(), E10(), E11(), E12(), E13(),
-		E14(), E15(), E16(), E17(), E18(), E19(), E20(), E21(),
+		E14(), E15(), E16(), E17(), E18(), E19(), E20(), E21(), E22(), E23(),
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestAllIDsOrderedAndUnique(t *testing.T) {
 	exps := All()
-	if len(exps) != 21 {
-		t.Fatalf("suite has %d experiments, want 21", len(exps))
+	if len(exps) != 23 {
+		t.Fatalf("suite has %d experiments, want 23", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)
