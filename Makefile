@@ -33,13 +33,15 @@ race:
 # cache, graceful shutdown), the speculative-transaction layer (including
 # cloned comm-state trials under contended models), the ILS trial
 # machinery, the contention-aware wrappers, the differential suite
-# with the per-processor trial workers forced on, the fault
-# replay/repair path (exercised concurrently through the service and
-# experiment tiers), and the adversary's parallel population evaluator.
-# `race` already covers them once; this tier re-runs them with fresh
-# state so interleavings differ between passes.
+# with the per-processor trial workers forced on (and the parallel
+# level-set rank kernels plus selection heap forced through every
+# algorithm), the fault replay/repair path (exercised concurrently
+# through the service and experiment tiers), the adversary's parallel
+# population evaluator, and the dag/timeline substrate the sharded
+# kernels read concurrently. `race` already covers them once; this tier
+# re-runs them with fresh state so interleavings differ between passes.
 race-concurrent:
-	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/algo/suite ./internal/core ./internal/algo/contention ./internal/sim ./internal/algo/resched ./internal/adversary
+	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/sched/timeline ./internal/dag ./internal/algo/suite ./internal/core ./internal/algo/contention ./internal/sim ./internal/algo/resched ./internal/adversary
 
 # One iteration of the scheduler-throughput benchmark at every size,
 # plus the transaction-layer micro-benchmarks (trial begin/rollback,
@@ -47,7 +49,7 @@ race-concurrent:
 # test of the hot paths, not a measurement.
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkAlgorithms -benchtime 1x .
-	$(GO) test -run '^$$' -bench 'BenchmarkTxn|BenchmarkTryDuplication' -benchtime 1x ./internal/sched ./internal/algo
+	$(GO) test -run '^$$' -bench 'BenchmarkTxn|BenchmarkTryDuplication|BenchmarkRankLevelSets' -benchtime 1x ./internal/sched ./internal/algo
 	$(GO) test -run '^$$' -bench 'BenchmarkMCPScaling' -benchtime 1x ./internal/algo/listsched
 	$(GO) test -run '^$$' -bench 'BenchmarkILSEndToEnd' -benchtime 1x ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkPopulationEval' -benchtime 1x ./internal/adversary

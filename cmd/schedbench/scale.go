@@ -14,15 +14,17 @@ import (
 )
 
 // scaleSizeCap bounds the DAG size each algorithm is timed at, mirroring
-// benchSizeCap in the repository's bench_test.go: the insertion-based
-// list schedulers scale to 10k tasks, the pair-scanning (ETF, DLS) and
-// clustering/contention algorithms are inherently super-quadratic and
-// stop at the largest size they finish in reasonable time. The
-// duplication family runs its per-processor trials through the
+// benchSizeCap in the repository's bench_test.go: the pair-scanning (ETF,
+// DLS) and clustering/contention algorithms are inherently
+// super-quadratic and stop at the largest size they finish in reasonable
+// time; the duplication family runs its per-processor trials through the
 // speculative-transaction layer, so the non-duplicating ILS variants
-// reach the full 10k tier and the duplicating schedulers (whose trial
-// count still grows with duplicate fan-in) are timed to 1k. Unlisted
-// algorithms run at every size.
+// reach the 10k tier and the duplicating schedulers (whose trial count
+// still grows with duplicate fan-in) are timed to 1k. The near-linear
+// HEFT-class insertion schedulers are timed to 100k tasks, and HEFT
+// itself — the reference algorithm of the suite — to the million-task
+// tier that the SoA kernel targets. Unlisted algorithms stop at
+// scaleDefaultCap.
 var scaleSizeCap = map[string]int{
 	"ETF":    1000,
 	"DLS":    1000,
@@ -35,7 +37,18 @@ var scaleSizeCap = map[string]int{
 	"DSC":    1000,
 	"C-HEFT": 1000,
 	"C-ILS":  1000,
+	"HEFT":   1000000,
+	"CPOP":   100000,
+	"HLFET":  100000,
+	"MCP":    100000,
+	"ISH":    100000,
+	"HCPT":   100000,
+	"LMT":    100000,
+	"PETS":   100000,
 }
+
+// scaleDefaultCap bounds algorithms without an explicit entry above.
+const scaleDefaultCap = 10000
 
 // scaleReport is the machine-readable output of the -scale mode.
 type scaleReport struct {
@@ -82,7 +95,11 @@ type scaleResult struct {
 	BestNs    int64   `json:"best_ns"`
 	MeanNs    int64   `json:"mean_ns"`
 	NsPerTask float64 `json:"ns_per_task"`
-	Makespan  float64 `json:"makespan"`
+	// BytesPerTask is the heap allocated per task by one steady-state
+	// Schedule call (TotalAlloc delta over the measured rep divided by n) —
+	// the memory-scaling headline for the 100k–1M tiers.
+	BytesPerTask float64 `json:"bytes_per_task"`
+	Makespan     float64 `json:"makespan"`
 }
 
 // runScale times every registry algorithm on layered random DAGs at the
@@ -91,7 +108,7 @@ type scaleResult struct {
 // Best-of-reps is the headline number: wall-clock minima are the standard
 // low-noise point estimate for CPU-bound work.
 func runScale(outPath string, reps int, seed int64, quick bool, linkSpread, startupSpread float64) error {
-	sizes := []int{100, 1000, 10000}
+	sizes := []int{100, 1000, 10000, 100000, 1000000}
 	if quick {
 		sizes = []int{100, 1000}
 	}
@@ -118,10 +135,23 @@ func runScale(outPath string, reps int, seed int64, quick bool, linkSpread, star
 			return err
 		}
 		for _, a := range dagsched.Algorithms() {
-			if cap, ok := scaleSizeCap[a.Name()]; ok && n > cap {
+			cap, ok := scaleSizeCap[a.Name()]
+			if !ok {
+				cap = scaleDefaultCap
+			}
+			if n > cap {
 				continue
 			}
-			res := scaleResult{Algorithm: a.Name(), N: n, Edges: g.NumEdges(), Reps: reps}
+			// The 100k and 1M tiers run seconds per rep; steady-state noise
+			// is proportionally small there, so fewer reps keep the whole
+			// sweep tractable without hurting the best-of estimate.
+			effReps := reps
+			if n >= 1000000 && effReps > 1 {
+				effReps = 1
+			} else if n >= 100000 && effReps > 2 {
+				effReps = 2
+			}
+			res := scaleResult{Algorithm: a.Name(), N: n, Edges: g.NumEdges(), Reps: effReps}
 			// One untimed warmup rep: the first run pays one-off heap
 			// growth and cache warming that would otherwise dominate the
 			// mean for sub-millisecond algorithms; the reported numbers
@@ -130,7 +160,13 @@ func runScale(outPath string, reps int, seed int64, quick bool, linkSpread, star
 				return fmt.Errorf("%s at n=%d: %w", a.Name(), n, err)
 			}
 			var total time.Duration
-			for r := 0; r < reps; r++ {
+			var ms runtime.MemStats
+			for r := 0; r < effReps; r++ {
+				var allocBefore uint64
+				if r == 0 {
+					runtime.ReadMemStats(&ms)
+					allocBefore = ms.TotalAlloc
+				}
 				start := time.Now()
 				s, err := a.Schedule(in)
 				elapsed := time.Since(start)
@@ -139,17 +175,22 @@ func runScale(outPath string, reps int, seed int64, quick bool, linkSpread, star
 				}
 				if r == 0 {
 					res.Makespan = s.Makespan()
+					// TotalAlloc is a monotone allocation counter, so the
+					// delta is GC-independent: exactly the bytes this
+					// steady-state rep allocated.
+					runtime.ReadMemStats(&ms)
+					res.BytesPerTask = float64(ms.TotalAlloc-allocBefore) / float64(n)
 				}
 				total += elapsed
 				if res.BestNs == 0 || elapsed.Nanoseconds() < res.BestNs {
 					res.BestNs = elapsed.Nanoseconds()
 				}
 			}
-			res.MeanNs = total.Nanoseconds() / int64(reps)
+			res.MeanNs = total.Nanoseconds() / int64(effReps)
 			res.NsPerTask = float64(res.BestNs) / float64(n)
 			rep.Results = append(rep.Results, res)
-			fmt.Fprintf(os.Stderr, "scale: %-8s n=%-6d best=%-12s ns/task=%.0f\n",
-				res.Algorithm, n, time.Duration(res.BestNs).Round(time.Microsecond), res.NsPerTask)
+			fmt.Fprintf(os.Stderr, "scale: %-8s n=%-7d best=%-12s ns/task=%-8.0f B/task=%.0f\n",
+				res.Algorithm, n, time.Duration(res.BestNs).Round(time.Microsecond), res.NsPerTask, res.BytesPerTask)
 		}
 	}
 	sort.SliceStable(rep.Results, func(i, j int) bool {

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestScaleResultKeepsBytesPerTask guards the -scale output contract: the
+// per-result memory field must survive refactors of scaleResult, because
+// downstream tooling (and docs/ALGORITHMS.md tables) read it by name.
+func TestScaleResultKeepsBytesPerTask(t *testing.T) {
+	rep := scaleReport{
+		Suite:   "dagsched-scale",
+		Results: []scaleResult{{Algorithm: "HEFT", N: 100, BytesPerTask: 123.5}},
+	}
+	buf, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded struct {
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(decoded.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(decoded.Results))
+	}
+	if _, ok := decoded.Results[0]["bytes_per_task"]; !ok {
+		t.Fatalf("scale output dropped the bytes_per_task field: %s", buf)
+	}
+	if _, ok := decoded.Results[0]["ns_per_task"]; !ok {
+		t.Fatalf("scale output dropped the ns_per_task field: %s", buf)
+	}
+}
+
+// TestCommittedBenchReportHasMemoryField extends the guard to the
+// committed artifact: every result in BENCH_sched.json must carry the
+// memory-per-task measurement.
+func TestCommittedBenchReportHasMemoryField(t *testing.T) {
+	buf, err := os.ReadFile("../../BENCH_sched.json")
+	if err != nil {
+		t.Skipf("BENCH_sched.json not present: %v", err)
+	}
+	var decoded struct {
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatalf("unmarshal BENCH_sched.json: %v", err)
+	}
+	if len(decoded.Results) == 0 {
+		t.Fatal("BENCH_sched.json has no results")
+	}
+	sawMillion := false
+	for _, r := range decoded.Results {
+		if _, ok := r["bytes_per_task"]; !ok {
+			t.Fatalf("result %v lacks bytes_per_task", r["algorithm"])
+		}
+		if n, ok := r["n"].(float64); ok && n >= 1000000 {
+			if alg, _ := r["algorithm"].(string); strings.EqualFold(alg, "HEFT") {
+				sawMillion = true
+			}
+		}
+	}
+	if !sawMillion {
+		t.Fatal("BENCH_sched.json lacks the HEFT n=1000000 tier")
+	}
+}

@@ -38,9 +38,11 @@ func ScheduleContext(ctx context.Context, a Algorithm, in *sched.Instance) (*sch
 }
 
 // Checkpoint polls a context cheaply from a scheduling hot loop. A nil
-// done channel (context.Background, TODO) makes every Check a single
-// comparison; otherwise the context error is loaded once per stride
-// iterations. The zero stride defaults to 64.
+// done channel (context.Background and contexts that can never be
+// canceled) makes every Check a single comparison; otherwise the context
+// error is loaded once per stride iterations, starting with the very
+// first Check so a context canceled before the loop begins aborts it
+// immediately. The zero stride defaults to 64.
 type Checkpoint struct {
 	ctx    context.Context
 	done   <-chan struct{}
@@ -53,7 +55,9 @@ func NewCheckpoint(ctx context.Context, stride int) *Checkpoint {
 	if stride <= 0 {
 		stride = 64
 	}
-	return &Checkpoint{ctx: ctx, done: ctx.Done(), stride: stride}
+	// Prime the counter so the first Check polls: a loop entered with an
+	// already-canceled context must not burn stride-1 iterations first.
+	return &Checkpoint{ctx: ctx, done: ctx.Done(), stride: stride, count: stride - 1}
 }
 
 // Check returns the context's error once it is canceled, polling at the

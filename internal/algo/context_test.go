@@ -88,6 +88,42 @@ func TestCheckpointNilDone(t *testing.T) {
 	}
 }
 
+// TestCheckpointFirstCheckPolls is the regression test for the stride
+// counter: a context canceled before the loop starts must surface on the
+// very first Check, not after stride-1 free iterations.
+func TestCheckpointFirstCheckPolls(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := algo.NewCheckpoint(ctx, 64)
+	if err := c.Check(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first Check = %v, want context.Canceled", err)
+	}
+}
+
+// TestCheckpointStride pins the steady-state cadence: after the first
+// poll, a live context is polled exactly once per stride Checks — verified
+// by canceling between Checks and counting the delay until detection.
+func TestCheckpointStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := algo.NewCheckpoint(ctx, 4)
+	if err := c.Check(); err != nil { // first Check polls the live context
+		t.Fatalf("live first Check = %v", err)
+	}
+	cancel()
+	// Checks 2 and 3 fall inside the stride window; check 5 (= 1 + stride)
+	// is the next poll and must report the cancellation.
+	delay := 0
+	for c.Check() == nil {
+		delay++
+		if delay > 4 {
+			t.Fatalf("cancellation not seen within one stride")
+		}
+	}
+	if delay != 3 {
+		t.Fatalf("cancellation seen after %d Checks, want 3 (stride 4)", delay)
+	}
+}
+
 var _ algo.CtxScheduler = core.ILS{}
 var _ algo.CtxScheduler = listsched.HEFT{}
 var _ algo.CtxScheduler = search.HillClimb{}

@@ -1,0 +1,94 @@
+package suite
+
+import (
+	"testing"
+
+	"dagsched/internal/sched"
+	"dagsched/internal/testfix"
+)
+
+// forceKernelFastPaths flips the scheduling substrate onto its scaled
+// code paths — concurrent level-set rank kernels and the bound-pruned
+// processor-selection heap — for one test, restoring the defaults after.
+func forceKernelFastPaths(t *testing.T) {
+	t.Helper()
+	oldRanks, oldTree := sched.ForceParallelRanks, sched.ForceTreeSelect
+	sched.ForceParallelRanks, sched.ForceTreeSelect = true, true
+	t.Cleanup(func() {
+		sched.ForceParallelRanks, sched.ForceTreeSelect = oldRanks, oldTree
+	})
+}
+
+// TestKernelFastPathsBitIdentical is the end-to-end golden equivalence
+// proof for the SoA kernel work: every suite algorithm must produce a
+// bit-identical schedule (same digest — same copies at the same float64
+// times) whether the substrate runs the sequential rank sweeps and linear
+// BestEFT scan or the parallel level-set kernels and the selection heap.
+// Under -race with GOMAXPROCS > 1 it also shakes the sharded rank loops
+// for data races through every algorithm's real call pattern.
+func TestKernelFastPathsBitIdentical(t *testing.T) {
+	type run struct {
+		name   string
+		digest string
+	}
+	baseline := make(map[string][]run)
+	for _, a := range All() {
+		for _, ni := range testfix.GoldenInstances() {
+			s, err := a.Schedule(ni.In)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", a.Name(), ni.Name, err)
+			}
+			baseline[a.Name()] = append(baseline[a.Name()],
+				run{ni.Name, testfix.ScheduleDigest(s)})
+		}
+	}
+
+	forceKernelFastPaths(t)
+	for _, a := range All() {
+		for k, ni := range testfix.GoldenInstances() {
+			s, err := a.Schedule(ni.In)
+			if err != nil {
+				t.Fatalf("%s on %s (fast paths): %v", a.Name(), ni.Name, err)
+			}
+			want := baseline[a.Name()][k]
+			if got := testfix.ScheduleDigest(s); got != want.digest {
+				t.Errorf("%s on %s: fast-path schedule diverges from sequential baseline\n got %s\nwant %s",
+					a.Name(), ni.Name, got, want.digest)
+			}
+		}
+	}
+}
+
+// TestKernelFastPathsBattery repeats the equivalence over a random
+// battery for the insertion-scheduler core (HEFT-class plus the
+// transactional ILS), where the selection heap and the rank kernels are
+// on the hot path of every placement.
+func TestKernelFastPathsBattery(t *testing.T) {
+	algos := All()
+	type key struct {
+		alg   string
+		trial int
+	}
+	baseline := make(map[key]string)
+	testfix.Battery(testfix.BatteryConfig{Trials: 8, Seed: 9300}, func(trial int, in *sched.Instance) {
+		for _, a := range algos {
+			s, err := a.Schedule(in)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", a.Name(), trial, err)
+			}
+			baseline[key{a.Name(), trial}] = testfix.ScheduleDigest(s)
+		}
+	})
+	forceKernelFastPaths(t)
+	testfix.Battery(testfix.BatteryConfig{Trials: 8, Seed: 9300}, func(trial int, in *sched.Instance) {
+		for _, a := range algos {
+			s, err := a.Schedule(in)
+			if err != nil {
+				t.Fatalf("%s trial %d (fast paths): %v", a.Name(), trial, err)
+			}
+			if got, want := testfix.ScheduleDigest(s), baseline[key{a.Name(), trial}]; got != want {
+				t.Errorf("%s trial %d: fast-path digest %s != sequential %s", a.Name(), trial, got, want)
+			}
+		}
+	})
+}

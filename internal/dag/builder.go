@@ -50,12 +50,6 @@ func (b *Builder) Build() (*Graph, error) {
 			return nil, fmt.Errorf("dag: task %d (%s) has negative weight %g", t.ID, t.Name, t.Weight)
 		}
 	}
-	g := &Graph{
-		name:  b.name,
-		tasks: append([]Task(nil), b.tasks...),
-		succ:  make([][]Adj, n),
-		pred:  make([][]Adj, n),
-	}
 	for _, e := range b.edges {
 		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
 			return nil, fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", e.From, e.To, n)
@@ -66,24 +60,52 @@ func (b *Builder) Build() (*Graph, error) {
 		if e.Data < 0 {
 			return nil, fmt.Errorf("dag: edge (%d,%d) has negative data %g", e.From, e.To, e.Data)
 		}
-		g.succ[e.From] = append(g.succ[e.From], Adj{To: e.To, Data: e.Data})
-		g.pred[e.To] = append(g.pred[e.To], Adj{To: e.From, Data: e.Data})
 	}
-	for i := range g.succ {
-		adj := g.succ[i]
+	g := &Graph{
+		name:  b.name,
+		tasks: append([]Task(nil), b.tasks...),
+		edges: len(b.edges),
+	}
+	// Counting pass then fill: the adjacency goes straight into the flat
+	// CSR arrays, no per-task intermediate slices.
+	g.succOff = make([]int32, n+1)
+	g.predOff = make([]int32, n+1)
+	for _, e := range b.edges {
+		g.succOff[e.From+1]++
+		g.predOff[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.succOff[i+1] += g.succOff[i]
+		g.predOff[i+1] += g.predOff[i]
+	}
+	g.succAdj = make([]Adj, len(b.edges))
+	g.predAdj = make([]Adj, len(b.edges))
+	sCur := append([]int32(nil), g.succOff[:n]...)
+	pCur := append([]int32(nil), g.predOff[:n]...)
+	for _, e := range b.edges {
+		g.succAdj[sCur[e.From]] = Adj{To: e.To, Data: e.Data}
+		sCur[e.From]++
+		g.predAdj[pCur[e.To]] = Adj{To: e.From, Data: e.Data}
+		pCur[e.To]++
+	}
+	for i := 0; i < n; i++ {
+		adj := g.succAdj[g.succOff[i]:g.succOff[i+1]]
 		sort.Slice(adj, func(a, b int) bool { return adj[a].To < adj[b].To })
 		for k := 1; k < len(adj); k++ {
 			if adj[k].To == adj[k-1].To {
 				return nil, fmt.Errorf("dag: duplicate edge (%d,%d)", i, adj[k].To)
 			}
 		}
-		p := g.pred[i]
+		p := g.predAdj[g.predOff[i]:g.predOff[i+1]]
 		sort.Slice(p, func(a, b int) bool { return p[a].To < p[b].To })
 	}
-	g.edges = len(b.edges)
-	if _, err := topoOrder(g); err != nil {
+	order, err := topoOrder(g)
+	if err != nil {
 		return nil, err
 	}
+	// The acyclicity check just computed the canonical order; prime the
+	// graph's traversal cache with it instead of re-running Kahn later.
+	g.topoOnce.Do(func() { g.topo = order })
 	return g, nil
 }
 

@@ -11,6 +11,7 @@ package dag
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // TaskID identifies a task within a single Graph. IDs are dense: a graph
@@ -40,12 +41,58 @@ type Edge struct {
 }
 
 // Graph is an immutable weighted DAG.
+//
+// Adjacency is stored in CSR form: one flat arc array per direction plus
+// n+1 offsets, so Succ/Pred return zero-copy sub-slices and per-arc
+// companion tables (package sched's mean-communication caches) can be flat
+// arrays indexed by SuccStart/PredStart — no per-task slice headers, no
+// pointer chasing on the million-task hot paths.
 type Graph struct {
 	name  string
 	tasks []Task
-	succ  [][]Adj // succ[i] sorted by To
-	pred  [][]Adj // pred[j] sorted by To (i.e. by predecessor id)
-	edges int
+	// succAdj holds all successor arcs grouped by source task (sorted by
+	// To within a group); task i's arcs are succAdj[succOff[i]:succOff[i+1]].
+	succOff []int32
+	succAdj []Adj
+	// predAdj mirrors succAdj for incoming arcs, sorted by predecessor id.
+	predOff []int32
+	predAdj []Adj
+	edges   int
+
+	// Traversal caches. The graph is immutable, so one topological order
+	// and the level-set groupings are computed once and shared; accessors
+	// hand out copies where callers are allowed to mutate the result.
+	topoOnce sync.Once
+	topo     []TaskID
+	lvlOnce  sync.Once
+	depth    levelSets // tasks grouped by depth from the entries
+	height   levelSets // tasks grouped by height from the exits
+}
+
+// levelSets is a CSR grouping of tasks by level: level l holds
+// tasks[off[l]:off[l+1]], ascending task id within a level.
+type levelSets struct {
+	off   []int32
+	tasks []TaskID
+}
+
+// replaceWith installs src's structural fields into g and clears the
+// traversal caches, without copying the sync.Once fields. src must be
+// freshly built and not shared; UnmarshalJSON uses this in place of a
+// whole-struct assignment.
+func (g *Graph) replaceWith(src *Graph) {
+	g.name = src.name
+	g.tasks = src.tasks
+	g.succOff = src.succOff
+	g.succAdj = src.succAdj
+	g.predOff = src.predOff
+	g.predAdj = src.predAdj
+	g.edges = src.edges
+	g.topoOnce = sync.Once{}
+	g.topo = nil
+	g.lvlOnce = sync.Once{}
+	g.depth = levelSets{}
+	g.height = levelSets{}
 }
 
 // Name returns the human-readable name given at build time (may be empty).
@@ -70,22 +117,37 @@ func (g *Graph) Tasks() []Task {
 
 // Succ returns the successor adjacency of id. The returned slice must not
 // be modified.
-func (g *Graph) Succ(id TaskID) []Adj { return g.succ[id] }
+func (g *Graph) Succ(id TaskID) []Adj {
+	lo, hi := g.succOff[id], g.succOff[id+1]
+	return g.succAdj[lo:hi:hi]
+}
 
 // Pred returns the predecessor adjacency of id. The returned slice must
 // not be modified.
-func (g *Graph) Pred(id TaskID) []Adj { return g.pred[id] }
+func (g *Graph) Pred(id TaskID) []Adj {
+	lo, hi := g.predOff[id], g.predOff[id+1]
+	return g.predAdj[lo:hi:hi]
+}
+
+// SuccStart returns the arc offset of task id's first outgoing arc in the
+// flat successor array: the j-th entry of Succ(id) is arc SuccStart(id)+j.
+// Flat per-arc tables (e.g. memoized mean communication costs) are indexed
+// with it.
+func (g *Graph) SuccStart(id TaskID) int { return int(g.succOff[id]) }
+
+// PredStart is SuccStart for incoming arcs.
+func (g *Graph) PredStart(id TaskID) int { return int(g.predOff[id]) }
 
 // OutDegree returns the number of successors of id.
-func (g *Graph) OutDegree(id TaskID) int { return len(g.succ[id]) }
+func (g *Graph) OutDegree(id TaskID) int { return int(g.succOff[id+1] - g.succOff[id]) }
 
 // InDegree returns the number of predecessors of id.
-func (g *Graph) InDegree(id TaskID) int { return len(g.pred[id]) }
+func (g *Graph) InDegree(id TaskID) int { return int(g.predOff[id+1] - g.predOff[id]) }
 
 // EdgeData returns the data volume on edge (from, to) and whether the edge
 // exists.
 func (g *Graph) EdgeData(from, to TaskID) (float64, bool) {
-	adj := g.succ[from]
+	adj := g.Succ(from)
 	k := sort.Search(len(adj), func(i int) bool { return adj[i].To >= to })
 	if k < len(adj) && adj[k].To == to {
 		return adj[k].Data, true
@@ -96,8 +158,8 @@ func (g *Graph) EdgeData(from, to TaskID) (float64, bool) {
 // Edges returns all edges in (From, To) order.
 func (g *Graph) Edges() []Edge {
 	out := make([]Edge, 0, g.edges)
-	for i := range g.succ {
-		for _, a := range g.succ[i] {
+	for i := range g.tasks {
+		for _, a := range g.Succ(TaskID(i)) {
 			out = append(out, Edge{From: TaskID(i), To: a.To, Data: a.Data})
 		}
 	}
@@ -108,7 +170,7 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) Entries() []TaskID {
 	var out []TaskID
 	for i := range g.tasks {
-		if len(g.pred[i]) == 0 {
+		if g.InDegree(TaskID(i)) == 0 {
 			out = append(out, TaskID(i))
 		}
 	}
@@ -119,7 +181,7 @@ func (g *Graph) Entries() []TaskID {
 func (g *Graph) Exits() []TaskID {
 	var out []TaskID
 	for i := range g.tasks {
-		if len(g.succ[i]) == 0 {
+		if g.OutDegree(TaskID(i)) == 0 {
 			out = append(out, TaskID(i))
 		}
 	}
@@ -138,10 +200,8 @@ func (g *Graph) TotalWeight() float64 {
 // TotalData returns the sum of all edge data volumes.
 func (g *Graph) TotalData() float64 {
 	var s float64
-	for i := range g.succ {
-		for _, a := range g.succ[i] {
-			s += a.Data
-		}
+	for _, a := range g.succAdj {
+		s += a.Data
 	}
 	return s
 }

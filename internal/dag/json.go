@@ -58,7 +58,7 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	*g = *built
+	g.replaceWith(built)
 	return nil
 }
 

@@ -1,0 +1,143 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomLayered builds a deterministic pseudo-random DAG without importing
+// the workload generator: forward edges only, so acyclicity is structural.
+func randomLayered(t *testing.T, n int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("levels-test")
+	for i := 0; i < n; i++ {
+		b.AddTask("", 1+rng.Float64())
+	}
+	for i := 1; i < n; i++ {
+		// 1-3 parents among the earlier tasks.
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			from := TaskID(rng.Intn(i))
+			if _, dup := edgeOf(b, from, TaskID(i)); !dup {
+				b.AddEdge(from, TaskID(i), rng.Float64())
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func edgeOf(b *Builder, from, to TaskID) (Edge, bool) {
+	for _, e := range b.edges {
+		if e.From == from && e.To == to {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// TestDepthLevelsPartition checks the CSR grouping: every task appears
+// exactly once, within-level order is ascending id, the level assignment
+// matches Levels(), and all predecessors live in strictly earlier levels.
+func TestDepthLevelsPartition(t *testing.T) {
+	g := randomLayered(t, 300, 1)
+	off, tasks := g.DepthLevels()
+	if len(tasks) != g.Len() || int(off[len(off)-1]) != g.Len() {
+		t.Fatalf("level sets cover %d of %d tasks", len(tasks), g.Len())
+	}
+	want := g.Levels()
+	seen := make([]bool, g.Len())
+	for l := 0; l+1 < len(off); l++ {
+		set := tasks[off[l]:off[l+1]]
+		for k, v := range set {
+			if seen[v] {
+				t.Fatalf("task %d appears twice", v)
+			}
+			seen[v] = true
+			if want[v] != l {
+				t.Fatalf("task %d grouped at level %d, Levels says %d", v, l, want[v])
+			}
+			if k > 0 && set[k-1] >= v {
+				t.Fatalf("level %d not ascending: %d before %d", l, set[k-1], v)
+			}
+			for _, p := range g.Pred(v) {
+				if want[p.To] >= l {
+					t.Fatalf("pred %d of %d not in earlier level", p.To, v)
+				}
+			}
+		}
+	}
+}
+
+// TestHeightLevelsOrder checks the exit-anchored grouping: exits at level
+// 0 and every successor of a task strictly earlier than the task itself,
+// which is the dependency guarantee the parallel upward-rank kernel needs.
+func TestHeightLevelsOrder(t *testing.T) {
+	g := randomLayered(t, 300, 2)
+	off, tasks := g.HeightLevels()
+	lvl := make([]int, g.Len())
+	for l := 0; l+1 < len(off); l++ {
+		for _, v := range tasks[off[l]:off[l+1]] {
+			lvl[v] = l
+		}
+	}
+	for i := 0; i < g.Len(); i++ {
+		v := TaskID(i)
+		if g.OutDegree(v) == 0 && lvl[v] != 0 {
+			t.Fatalf("exit task %d at height level %d", v, lvl[v])
+		}
+		for _, a := range g.Succ(v) {
+			if lvl[a.To] >= lvl[v] {
+				t.Fatalf("succ %d of %d not strictly earlier (%d >= %d)", a.To, v, lvl[a.To], lvl[v])
+			}
+		}
+	}
+}
+
+// TestArcOffsets checks that SuccStart/PredStart index the flat arc arrays
+// consistently with the sliced adjacency.
+func TestArcOffsets(t *testing.T) {
+	g := randomLayered(t, 120, 3)
+	if g.SuccStart(0) != 0 || g.PredStart(0) != 0 {
+		t.Fatalf("first arc offsets = %d,%d", g.SuccStart(0), g.PredStart(0))
+	}
+	sum := 0
+	for i := 0; i < g.Len(); i++ {
+		if g.SuccStart(TaskID(i)) != sum {
+			t.Fatalf("SuccStart(%d) = %d, want %d", i, g.SuccStart(TaskID(i)), sum)
+		}
+		sum += g.OutDegree(TaskID(i))
+		if got := len(g.Succ(TaskID(i))); got != g.OutDegree(TaskID(i)) {
+			t.Fatalf("Succ len %d != OutDegree %d", got, g.OutDegree(TaskID(i)))
+		}
+	}
+	if sum != g.NumEdges() {
+		t.Fatalf("arc count %d != edges %d", sum, g.NumEdges())
+	}
+}
+
+// TestTopoOrderCallerOwned ensures the cached order is copied out:
+// mutating one call's result must not corrupt later calls.
+func TestTopoOrderCallerOwned(t *testing.T) {
+	g := randomLayered(t, 50, 4)
+	a := g.TopoOrder()
+	want := append([]TaskID(nil), a...)
+	for i := range a {
+		a[i] = -1
+	}
+	b := g.TopoOrder()
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("topo order corrupted at %d after caller mutation", i)
+		}
+	}
+	r := g.ReverseTopoOrder()
+	for i := range r {
+		if r[i] != want[len(want)-1-i] {
+			t.Fatalf("reverse order wrong at %d", i)
+		}
+	}
+}

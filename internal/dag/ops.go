@@ -18,7 +18,7 @@ func (g *Graph) TransitiveReduction() *Graph {
 	set := func(bs []uint64, i TaskID) { bs[i/64] |= 1 << (uint(i) % 64) }
 	get := func(bs []uint64, i TaskID) bool { return bs[i/64]&(1<<(uint(i)%64)) != 0 }
 	for _, v := range g.ReverseTopoOrder() {
-		for _, a := range g.succ[v] {
+		for _, a := range g.Succ(v) {
 			set(reach[v], a.To)
 			for w := 0; w < words; w++ {
 				reach[v][w] |= reach[a.To][w]
@@ -29,11 +29,11 @@ func (g *Graph) TransitiveReduction() *Graph {
 	for _, t := range g.tasks {
 		b.AddTask(t.Name, t.Weight)
 	}
-	for i := range g.succ {
-		for _, a := range g.succ[i] {
+	for i := 0; i < n; i++ {
+		for _, a := range g.Succ(TaskID(i)) {
 			// Redundant iff some other successor reaches a.To.
 			redundant := false
-			for _, other := range g.succ[i] {
+			for _, other := range g.Succ(TaskID(i)) {
 				if other.To != a.To && get(reach[other.To], a.To) {
 					redundant = true
 					break

@@ -30,7 +30,7 @@ func (g *Graph) CriticalPath(withComm bool) ([]TaskID, float64) {
 	for _, v := range g.ReverseTopoOrder() {
 		best := 0.0
 		bestSucc := TaskID(-1)
-		for _, a := range g.succ[v] {
+		for _, a := range g.Succ(v) {
 			c := 0.0
 			if withComm {
 				c = a.Data
@@ -67,7 +67,7 @@ func (g *Graph) BottomLevels(withComm bool) []float64 {
 	bl := make([]float64, n)
 	for _, v := range g.ReverseTopoOrder() {
 		best := 0.0
-		for _, a := range g.succ[v] {
+		for _, a := range g.Succ(v) {
 			c := 0.0
 			if withComm {
 				c = a.Data
@@ -89,7 +89,7 @@ func (g *Graph) TopLevels(withComm bool) []float64 {
 	tl := make([]float64, n)
 	for _, v := range g.TopoOrder() {
 		best := 0.0
-		for _, p := range g.pred[v] {
+		for _, p := range g.Pred(v) {
 			c := 0.0
 			if withComm {
 				c = p.Data

@@ -15,7 +15,7 @@ func topoOrder(g *Graph) ([]TaskID, error) {
 	n := g.Len()
 	indeg := make([]int, n)
 	for i := 0; i < n; i++ {
-		indeg[i] = len(g.pred[i])
+		indeg[i] = g.InDegree(TaskID(i))
 	}
 	// A monotone frontier: because ready tasks are appended in id order
 	// per wave and consumed FIFO, the order is deterministic.
@@ -30,7 +30,7 @@ func topoOrder(g *Graph) ([]TaskID, error) {
 		v := queue[0]
 		queue = queue[1:]
 		order = append(order, v)
-		for _, a := range g.succ[v] {
+		for _, a := range g.Succ(v) {
 			indeg[a.To]--
 			if indeg[a.To] == 0 {
 				queue = append(queue, a.To)
@@ -43,39 +43,133 @@ func topoOrder(g *Graph) ([]TaskID, error) {
 	return order, nil
 }
 
+// cachedTopo returns the shared canonical topological order, computing it
+// once per graph. Callers must not modify it — the exported accessors copy.
+func (g *Graph) cachedTopo() []TaskID {
+	g.topoOnce.Do(func() {
+		order, err := topoOrder(g)
+		if err != nil {
+			// Build guarantees acyclicity; reaching this indicates memory
+			// corruption or misuse of the package internals.
+			panic(err)
+		}
+		g.topo = order
+	})
+	return g.topo
+}
+
 // TopoOrder returns a deterministic topological order of the graph. The
-// graph is guaranteed acyclic by Build, so no error is possible.
+// graph is guaranteed acyclic by Build, so no error is possible. The
+// caller owns the returned slice.
 func (g *Graph) TopoOrder() []TaskID {
-	order, err := topoOrder(g)
-	if err != nil {
-		// Build guarantees acyclicity; reaching this indicates memory
-		// corruption or misuse of the package internals.
-		panic(err)
-	}
-	return order
+	return append([]TaskID(nil), g.cachedTopo()...)
 }
 
 // ReverseTopoOrder returns the reverse of TopoOrder.
 func (g *Graph) ReverseTopoOrder() []TaskID {
-	order := g.TopoOrder()
-	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-		order[i], order[j] = order[j], order[i]
+	topo := g.cachedTopo()
+	order := make([]TaskID, len(topo))
+	for i, v := range topo {
+		order[len(topo)-1-i] = v
 	}
 	return order
 }
 
-// Levels assigns each task its depth: entry tasks are level 0 and every
-// other task is one more than its deepest predecessor.
-func (g *Graph) Levels() []int {
-	levels := make([]int, g.Len())
-	for _, v := range g.TopoOrder() {
-		lv := 0
-		for _, p := range g.pred[v] {
-			if levels[p.To]+1 > lv {
-				lv = levels[p.To] + 1
+// computeLevelSets groups the tasks of one traversal direction into CSR
+// level sets: lvl[v] is v's level, maxLvl the largest one; tasks within a
+// level are appended in ascending id order (the bucket fill below walks
+// ids 0..n-1), which fixes the deterministic iteration order the parallel
+// rank kernels rely on.
+func computeLevelSets(lvl []int, maxLvl int) levelSets {
+	off := make([]int32, maxLvl+2)
+	for _, l := range lvl {
+		off[l+1]++
+	}
+	for l := 0; l < maxLvl+1; l++ {
+		off[l+1] += off[l]
+	}
+	tasks := make([]TaskID, len(lvl))
+	cur := append([]int32(nil), off[:maxLvl+1]...)
+	for v, l := range lvl {
+		tasks[cur[l]] = TaskID(v)
+		cur[l]++
+	}
+	return levelSets{off: off, tasks: tasks}
+}
+
+// levelCaches computes the depth and height groupings once per graph.
+func (g *Graph) levelCaches() (depth, height levelSets) {
+	g.lvlOnce.Do(func() {
+		n := g.Len()
+		topo := g.cachedTopo()
+		lvl := make([]int, n)
+		maxLvl := 0
+		for _, v := range topo {
+			l := 0
+			for _, p := range g.Pred(v) {
+				if lvl[p.To]+1 > l {
+					l = lvl[p.To] + 1
+				}
+			}
+			lvl[v] = l
+			if l > maxLvl {
+				maxLvl = l
 			}
 		}
-		levels[v] = lv
+		g.depth = computeLevelSets(lvl, maxLvl)
+
+		maxLvl = 0
+		for i := len(topo) - 1; i >= 0; i-- {
+			v := topo[i]
+			l := 0
+			for _, a := range g.Succ(v) {
+				if lvl[a.To]+1 > l {
+					l = lvl[a.To] + 1
+				}
+			}
+			lvl[v] = l
+			if l > maxLvl {
+				maxLvl = l
+			}
+		}
+		g.height = computeLevelSets(lvl, maxLvl)
+	})
+	return g.depth, g.height
+}
+
+// DepthLevels returns the tasks grouped by depth from the entries in CSR
+// form: level l holds tasks[off[l]:off[l+1]] in ascending id order, entry
+// tasks are level 0 and every other task is one deeper than its deepest
+// predecessor. All predecessors of a task lie in strictly earlier levels
+// and no edge connects two tasks of one level, so processing levels in
+// order — with any evaluation order inside a level — is dependency-safe;
+// the downward-rank kernels shard each level over workers on that
+// guarantee. The returned slices are shared and must not be modified.
+func (g *Graph) DepthLevels() (off []int32, tasks []TaskID) {
+	d, _ := g.levelCaches()
+	return d.off, d.tasks
+}
+
+// HeightLevels is DepthLevels measured from the exits: exit tasks are
+// level 0 and every other task is one higher than its highest successor,
+// so all successors of a task lie in strictly earlier levels — the upward
+// traversal order. The returned slices are shared and must not be
+// modified.
+func (g *Graph) HeightLevels() (off []int32, tasks []TaskID) {
+	_, h := g.levelCaches()
+	return h.off, h.tasks
+}
+
+// Levels assigns each task its depth: entry tasks are level 0 and every
+// other task is one more than its deepest predecessor. The caller owns the
+// returned slice.
+func (g *Graph) Levels() []int {
+	off, tasks := g.DepthLevels()
+	levels := make([]int, g.Len())
+	for l := 0; l+1 < len(off); l++ {
+		for _, v := range tasks[off[l]:off[l+1]] {
+			levels[v] = l
+		}
 	}
 	return levels
 }
@@ -83,13 +177,8 @@ func (g *Graph) Levels() []int {
 // Height returns the number of levels in the graph (longest path length in
 // nodes).
 func (g *Graph) Height() int {
-	h := 0
-	for _, lv := range g.Levels() {
-		if lv+1 > h {
-			h = lv + 1
-		}
-	}
-	return h
+	off, _ := g.DepthLevels()
+	return len(off) - 1
 }
 
 // IsReachable reports whether to is reachable from from following edges
@@ -105,7 +194,7 @@ func (g *Graph) IsReachable(from, to TaskID) bool {
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range g.succ[v] {
+		for _, a := range g.Succ(v) {
 			if a.To == to {
 				return true
 			}

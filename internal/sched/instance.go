@@ -5,6 +5,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,12 +14,25 @@ import (
 	"dagsched/internal/platform"
 )
 
+// ErrInvalidCost is the typed error wrapped by NewInstance when a task
+// execution cost or an edge data volume is NaN, infinite or negative.
+// Fuzz-hardened readers can emit graphs carrying such values (NaN compares
+// false against everything, so a "data < 0" gate passes it); validating
+// here keeps the rank kernels free of per-comparison NaN checks — a NaN
+// would otherwise silently lose every "cand > best" comparison and corrupt
+// priorities without a trace.
+var ErrInvalidCost = errors.New("sched: invalid cost")
+
 // Instance is one scheduling problem: a task graph, a target system and
 // the execution cost W[task][processor] of every task on every processor.
 type Instance struct {
 	G   *dag.Graph
 	Sys *platform.System
-	W   [][]float64
+	// W is the row view of the cost matrix. NewInstance re-backs the rows
+	// onto one flat row-major array (wFlat), so row i is the contiguous
+	// block wFlat[i*P:(i+1)*P] and scanning a task's costs walks memory
+	// linearly.
+	W [][]float64
 
 	// comm is the pluggable communication model; nil means the classic
 	// contention-free model backed directly by Sys — the default every
@@ -26,19 +40,24 @@ type Instance struct {
 	// pre-CommModel implementation. Set via WithComm.
 	comm platform.CommModel
 
+	wFlat  []float64
 	meanW  []float64
 	sigmaW []float64
-	// Per-edge mean communication costs, memoized per adjacency entry
-	// (parallel to G.Succ(i) / G.Pred(i)). System.MeanCommCost is O(p²)
-	// per call; the rank computations and lookahead estimators consult
-	// these tables instead, with bit-identical values.
-	meanCommSucc [][]float64
-	meanCommPred [][]float64
+	// Per-edge mean communication costs, memoized per arc in flat arrays
+	// indexed by the DAG's CSR arc offsets: the cost of the j-th outgoing
+	// edge of task i is meanCommSucc[G.SuccStart(i)+j]. System.MeanCommCost
+	// is O(p²) per call; the rank computations and lookahead estimators
+	// consult these tables instead, with bit-identical values.
+	meanCommSucc []float64
+	meanCommPred []float64
 }
 
-// NewInstance validates the cost matrix and builds an Instance. W must
-// have one row per task and one column per processor, all entries
-// non-negative and finite.
+// NewInstance validates the cost matrix and the graph's edge data volumes
+// and builds an Instance. W must have one row per task and one column per
+// processor; all execution costs and edge data must be non-negative and
+// finite (violations report ErrInvalidCost). The matrix values are copied
+// onto a flat instance-owned backing array; the caller's rows are not
+// retained.
 func NewInstance(g *dag.Graph, sys *platform.System, w [][]float64) (*Instance, error) {
 	if g == nil || sys == nil {
 		return nil, fmt.Errorf("sched: nil graph or system")
@@ -46,17 +65,33 @@ func NewInstance(g *dag.Graph, sys *platform.System, w [][]float64) (*Instance, 
 	if len(w) != g.Len() {
 		return nil, fmt.Errorf("sched: cost matrix has %d rows, want %d", len(w), g.Len())
 	}
+	n, p := g.Len(), sys.Len()
 	for i, row := range w {
-		if len(row) != sys.Len() {
-			return nil, fmt.Errorf("sched: cost row %d has %d cols, want %d", i, len(row), sys.Len())
+		if len(row) != p {
+			return nil, fmt.Errorf("sched: cost row %d has %d cols, want %d", i, len(row), p)
 		}
-		for p, v := range row {
+		for q, v := range row {
 			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("sched: invalid cost W[%d][%d] = %g", i, p, v)
+				return nil, fmt.Errorf("%w: W[%d][%d] = %g", ErrInvalidCost, i, q, v)
 			}
 		}
 	}
-	inst := &Instance{G: g, Sys: sys, W: w}
+	for i := 0; i < n; i++ {
+		base := g.SuccStart(dag.TaskID(i))
+		for j, a := range g.Succ(dag.TaskID(i)) {
+			if a.Data < 0 || math.IsNaN(a.Data) || math.IsInf(a.Data, 0) {
+				return nil, fmt.Errorf("%w: edge (%d,%d) data = %g (arc %d)", ErrInvalidCost, i, a.To, a.Data, base+j)
+			}
+		}
+	}
+	inst := &Instance{G: g, Sys: sys}
+	inst.wFlat = make([]float64, n*p)
+	inst.W = make([][]float64, n)
+	for i, row := range w {
+		dst := inst.wFlat[i*p : (i+1)*p : (i+1)*p]
+		copy(dst, row)
+		inst.W[i] = dst
+	}
 	inst.cacheStats()
 	return inst, nil
 }
@@ -66,37 +101,30 @@ func (in *Instance) cacheStats() {
 	in.meanW = make([]float64, n)
 	in.sigmaW = make([]float64, n)
 	for i := 0; i < n; i++ {
+		row := in.W[i]
 		var sum float64
 		for q := 0; q < p; q++ {
-			sum += in.W[i][q]
+			sum += row[q]
 		}
 		mean := sum / float64(p)
 		var varSum float64
 		for q := 0; q < p; q++ {
-			d := in.W[i][q] - mean
+			d := row[q] - mean
 			varSum += d * d
 		}
 		in.meanW[i] = mean
 		in.sigmaW[i] = math.Sqrt(varSum / float64(p))
 	}
-	in.meanCommSucc = make([][]float64, n)
-	in.meanCommPred = make([][]float64, n)
+	in.meanCommSucc = make([]float64, in.G.NumEdges())
+	in.meanCommPred = make([]float64, in.G.NumEdges())
 	for i := 0; i < n; i++ {
-		succ := in.G.Succ(dag.TaskID(i))
-		if len(succ) > 0 {
-			row := make([]float64, len(succ))
-			for j, a := range succ {
-				row[j] = in.MeanCommData(a.Data)
-			}
-			in.meanCommSucc[i] = row
+		base := in.G.SuccStart(dag.TaskID(i))
+		for j, a := range in.G.Succ(dag.TaskID(i)) {
+			in.meanCommSucc[base+j] = in.MeanCommData(a.Data)
 		}
-		pred := in.G.Pred(dag.TaskID(i))
-		if len(pred) > 0 {
-			row := make([]float64, len(pred))
-			for j, a := range pred {
-				row[j] = in.MeanCommData(a.Data)
-			}
-			in.meanCommPred[i] = row
+		base = in.G.PredStart(dag.TaskID(i))
+		for j, a := range in.G.Pred(dag.TaskID(i)) {
+			in.meanCommPred[base+j] = in.MeanCommData(a.Data)
 		}
 	}
 }
@@ -235,17 +263,31 @@ func (in *Instance) MeanCommData(data float64) float64 {
 }
 
 // MeanCommSucc returns the mean communication cost of the j-th outgoing
-// edge of task i (parallel to G.Succ(i)), from the precomputed per-edge
+// edge of task i (parallel to G.Succ(i)), from the precomputed per-arc
 // table — identical to MeanCommData(G.Succ(i)[j].Data) without the O(p²)
 // pair scan.
 func (in *Instance) MeanCommSucc(i dag.TaskID, j int) float64 {
-	return in.meanCommSucc[i][j]
+	return in.meanCommSucc[in.G.SuccStart(i)+j]
 }
 
 // MeanCommPred is MeanCommSucc for the j-th incoming edge of task i
 // (parallel to G.Pred(i)).
 func (in *Instance) MeanCommPred(i dag.TaskID, j int) float64 {
-	return in.meanCommPred[i][j]
+	return in.meanCommPred[in.G.PredStart(i)+j]
+}
+
+// meanCommSuccRow returns the flat mean-comm entries for task i's outgoing
+// arcs, parallel to G.Succ(i). Rank kernels use it to hoist the offset
+// lookup out of their inner loops.
+func (in *Instance) meanCommSuccRow(i dag.TaskID) []float64 {
+	lo := in.G.SuccStart(i)
+	return in.meanCommSucc[lo : lo+in.G.OutDegree(i)]
+}
+
+// meanCommPredRow is meanCommSuccRow for incoming arcs.
+func (in *Instance) meanCommPredRow(i dag.TaskID) []float64 {
+	lo := in.G.PredStart(i)
+	return in.meanCommPred[lo : lo+in.G.InDegree(i)]
 }
 
 // CCR returns the realized communication-to-computation ratio: the mean

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -76,6 +77,66 @@ func TestNewInstanceValidation(t *testing.T) {
 	nan := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, math.NaN()}}
 	if _, err := NewInstance(g, sys, nan); err == nil {
 		t.Fatal("NaN cost accepted")
+	}
+	if _, err := NewInstance(g, sys, nan); !errors.Is(err, ErrInvalidCost) {
+		t.Fatalf("NaN cost error = %v, want ErrInvalidCost", err)
+	}
+}
+
+// TestNewInstanceRejectsBadEdgeData pins the edge-data audit: the builder's
+// "data < 0" gate passes NaN (every comparison with NaN is false) and +Inf,
+// so NewInstance must catch both before they poison the mean-comm tables.
+func TestNewInstanceRejectsBadEdgeData(t *testing.T) {
+	sys := twoProc()
+	build := func(data float64) *dag.Graph {
+		b := dag.NewBuilder("bad-edge")
+		a := b.AddTask("", 1)
+		c := b.AddTask("", 1)
+		b.AddEdge(a, c, data)
+		return b.MustBuild()
+	}
+	w := [][]float64{{1, 1}, {1, 1}}
+	for _, data := range []float64{math.NaN(), math.Inf(1)} {
+		g := build(data)
+		_, err := NewInstance(g, sys, w)
+		if err == nil {
+			t.Fatalf("edge data %g accepted", data)
+		}
+		if !errors.Is(err, ErrInvalidCost) {
+			t.Fatalf("edge data %g error = %v, want ErrInvalidCost", data, err)
+		}
+	}
+	if _, err := NewInstance(build(3), sys, w); err != nil {
+		t.Fatalf("valid edge data rejected: %v", err)
+	}
+}
+
+// TestNewInstanceCopiesCostMatrix checks the SoA re-backing: the instance
+// must own its flat cost array, so mutating the caller's rows afterwards
+// cannot corrupt cached statistics or later Cost lookups.
+func TestNewInstanceCopiesCostMatrix(t *testing.T) {
+	g := diamondGraph(t)
+	sys := twoProc()
+	w := [][]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	in, err := NewInstance(g, sys, w)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	w[0][0] = 999
+	w[3][1] = -5
+	if got := in.Cost(0, 0); got != 1 {
+		t.Fatalf("Cost(0,0) = %g after caller mutation, want 1", got)
+	}
+	if got := in.Cost(3, 1); got != 8 {
+		t.Fatalf("Cost(3,1) = %g after caller mutation, want 8", got)
+	}
+	// Rows are contiguous views of one flat backing array.
+	for i := 0; i < in.N(); i++ {
+		for p := 0; p < in.P(); p++ {
+			if in.W[i][p] != in.wFlat[i*in.P()+p] {
+				t.Fatalf("W[%d][%d] not backed by wFlat", i, p)
+			}
+		}
 	}
 }
 

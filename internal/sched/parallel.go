@@ -1,0 +1,77 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelRankThreshold is the task count from which the rank kernels
+// (RankUpward, RankDownward, StaticLevel and their variants) evaluate each
+// topological level set across worker goroutines instead of walking the
+// topological order sequentially. Below it the per-level barrier costs more
+// than the rank arithmetic it hides. Tests lower it (together with
+// ForceParallelRanks) to exercise the concurrent path on small instances
+// under -race.
+var ParallelRankThreshold = 65536
+
+// ForceParallelRanks pins the rank kernels to the concurrent level-set
+// path regardless of GOMAXPROCS and ParallelRankThreshold. It exists for
+// tests that must drive the parallel kernels on small instances (and on
+// single-CPU machines, where concurrency still shakes out sharing bugs
+// under the race detector even without parallelism).
+var ForceParallelRanks = false
+
+// rankShardGrain is the smallest per-worker shard of one level set. Tasks
+// within a level are independent, so shard boundaries cannot change any
+// computed value — only whether spawning a goroutine is worth it.
+const rankShardGrain = 512
+
+// useParallelRanks reports whether the level-set kernels should go wide
+// for an n-task instance.
+func useParallelRanks(n int) bool {
+	if ForceParallelRanks {
+		return true
+	}
+	return runtime.GOMAXPROCS(0) > 1 && n >= ParallelRankThreshold
+}
+
+// levelFor evaluates fn over disjoint shards covering [0, n) and returns
+// when all shards finished. Each rank kernel calls it once per level set;
+// every task of a level depends only on strictly earlier levels, so the
+// result is bit-identical to a sequential sweep no matter how the level is
+// sharded. Levels too small to amortize a goroutine run inline.
+func levelFor(n int, fn func(lo, hi int)) {
+	w := runtime.GOMAXPROCS(0)
+	shards := n / rankShardGrain
+	if ForceParallelRanks {
+		// Tests force real concurrency even on tiny levels and single-CPU
+		// hosts so the race detector sees the cross-goroutine accesses.
+		if w < 4 {
+			w = 4
+		}
+		if shards < 2 && n > 1 {
+			shards = 2
+		}
+	}
+	if w > shards {
+		w = shards
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

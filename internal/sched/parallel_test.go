@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+// forceParallelRanks flips the rank kernels onto the concurrent level-set
+// path for the duration of one test, restoring the defaults afterwards.
+func forceParallelRanks(t *testing.T) {
+	t.Helper()
+	old := ForceParallelRanks
+	ForceParallelRanks = true
+	t.Cleanup(func() { ForceParallelRanks = old })
+}
+
+// TestParallelRanksBitIdentical is the golden-equivalence property for the
+// level-set kernels: for every rank family, the concurrent path must
+// reproduce the sequential sweep bit for bit (== on float64, no epsilon).
+// Run under -race with GOMAXPROCS > 1 this doubles as the data-race proof
+// for the per-level sharding.
+func TestParallelRanksBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	kernels := []struct {
+		name string
+		f    func(*Instance) []float64
+	}{
+		{"RankUpward", RankUpward},
+		{"RankUpwardSigma", RankUpwardSigma},
+		{"RankDownward", RankDownward},
+		{"StaticLevel", StaticLevel},
+	}
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(t, rng, 3+rng.Intn(120), 2+rng.Intn(4))
+		seq := make([][]float64, len(kernels))
+		for k, kn := range kernels {
+			seq[k] = kn.f(in)
+		}
+		func() {
+			old := ForceParallelRanks
+			ForceParallelRanks = true
+			defer func() { ForceParallelRanks = old }()
+			for k, kn := range kernels {
+				par := kn.f(in)
+				for i := range par {
+					if par[i] != seq[k][i] {
+						t.Fatalf("trial %d %s: parallel[%d] = %.17g, sequential = %.17g",
+							trial, kn.name, i, par[i], seq[k][i])
+					}
+				}
+			}
+		}()
+	}
+}
+
+// TestParallelCriticalPathMean checks the composite consumer: the CPOP
+// critical path traced with parallel ranks must equal the sequential one
+// task for task.
+func TestParallelCriticalPathMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(t, rng, 10+rng.Intn(80), 3)
+		seqPath, seqCP := CriticalPathMean(in)
+		forcedPath, forcedCP := func() ([]dag.TaskID, float64) {
+			old := ForceParallelRanks
+			ForceParallelRanks = true
+			defer func() { ForceParallelRanks = old }()
+			return CriticalPathMean(in)
+		}()
+		if seqCP != forcedCP {
+			t.Fatalf("trial %d: cp %.17g vs %.17g", trial, seqCP, forcedCP)
+		}
+		if len(seqPath) != len(forcedPath) {
+			t.Fatalf("trial %d: path lengths %d vs %d", trial, len(seqPath), len(forcedPath))
+		}
+		for i := range seqPath {
+			if seqPath[i] != forcedPath[i] {
+				t.Fatalf("trial %d: path[%d] = %d vs %d", trial, i, seqPath[i], forcedPath[i])
+			}
+		}
+	}
+}
+
+// TestLevelForCoversRange checks the sharding helper itself: every index
+// visited exactly once, under both the inline and forced-concurrent paths.
+func TestLevelForCoversRange(t *testing.T) {
+	check := func(n int) {
+		t.Helper()
+		hits := make([]int32, n)
+		levelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hits[i]++
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+	for _, n := range []int{0, 1, 2, 7, 513, 4096} {
+		check(n)
+	}
+	forceParallelRanks(t)
+	for _, n := range []int{0, 1, 2, 7, 513, 4096} {
+		check(n)
+	}
+}
+
+// benchmarkRankInstance builds one layered 20k-task instance shared by the
+// rank benchmarks.
+func benchmarkRankInstance(b *testing.B) *Instance {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	bd := dag.NewBuilder("bench")
+	for i := 0; i < n; i++ {
+		bd.AddTask("", 1+rng.Float64()*9)
+	}
+	for i := 1; i < n; i++ {
+		lo := i - 40
+		if lo < 0 {
+			lo = 0
+		}
+		seen := map[int]bool{}
+		for k := 0; k < 3; k++ {
+			from := lo + rng.Intn(i-lo)
+			if !seen[from] {
+				seen[from] = true
+				bd.AddEdge(dag.TaskID(from), dag.TaskID(i), rng.Float64()*10)
+			}
+		}
+	}
+	return Consistent(bd.MustBuild(), platform.Homogeneous(8, 0.5, 1))
+}
+
+// BenchmarkRankLevelSets measures the upward-rank kernel over the cached
+// level sets — the inner loop of every list scheduler's priority phase.
+// ReportAllocs pins the SoA goal: one output slice per call, nothing else.
+func BenchmarkRankLevelSets(b *testing.B) {
+	in := benchmarkRankInstance(b)
+	RankUpward(in) // warm the graph's level caches outside the timer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RankUpward(in)
+	}
+}

@@ -52,7 +52,11 @@ type Plan struct {
 	commEpoch uint64
 }
 
-// NewPlan returns an empty plan for the instance.
+// NewPlan returns an empty plan for the instance. The per-task copy lists
+// are carved out of one flat arena — each task gets a zero-length slot of
+// capacity one, so placing the primary copy of every task costs zero heap
+// allocations; only duplicated tasks spill their list onto the heap when
+// append outgrows the slot.
 func NewPlan(in *Instance) *Plan {
 	pl := &Plan{
 		in:          in,
@@ -62,7 +66,16 @@ func NewPlan(in *Instance) *Plan {
 		gaps:        make([]*timeline.GapIndex, in.P()),
 		procEpoch:   make([]uint64, in.P()),
 	}
+	arena := make([]Assignment, in.N())
+	for i := range pl.byTask {
+		pl.byTask[i] = arena[i : i : i+1]
+	}
+	// Pre-size each processor timeline for an even spread of the tasks:
+	// insert then grows each slice O(1) amortized without the doubling
+	// copies that dominate allocation churn on the large tiers.
+	est := in.N()/in.P() + 8
 	for p := range pl.blockedFrom {
+		pl.procs[p] = make([]Assignment, 0, est)
 		pl.blockedFrom[p] = math.Inf(1)
 		pl.gaps[p] = timeline.New(slotEps)
 	}
@@ -224,8 +237,23 @@ func (pl *Plan) findSlotUnbounded(p int, ready, dur float64, insertion bool) flo
 	if !insertion {
 		return math.Max(ready, pl.ProcReady(p))
 	}
-	if start, ok := pl.gaps[p].EarliestFit(ready, dur); ok {
-		return start
+	if gi := pl.gaps[p]; gi.OK() {
+		// Tail fast path: while the index is intact every placement landed
+		// in a single idle gap, so assignments never overlap and the
+		// last-by-start one has the maximum finish — the start of the
+		// unbounded tail gap. A query at or past it lands in that gap and
+		// no fit can start earlier than ready, so the answer is exactly
+		// ready (identical to what the index returns) without a tree walk.
+		if t := pl.procs[p]; len(t) == 0 {
+			if ready >= 0 {
+				return ready
+			}
+		} else if ready >= t[len(t)-1].Finish {
+			return ready
+		}
+		if start, ok := gi.EarliestFit(ready, dur); ok {
+			return start
+		}
 	}
 	// Degraded gap index (a placement straddled occupied intervals):
 	// answer with the linear reference scan.
@@ -261,11 +289,67 @@ func (pl *Plan) EFTOn(i dag.TaskID, p int, insertion bool) (start, finish float6
 // blocked via BlockProc), it returns start = finish = +Inf with proc 0;
 // callers that schedule against blockable plans must check
 // math.IsInf(finish, 1) before placing.
+//
+// From TreeSelectThreshold processors on, the query runs over the
+// bound-pruned selection heap (see proctree.go), which returns the same
+// (proc, start, finish) bit for bit while skipping exact EFT evaluations
+// on processors whose lower bound already loses.
 func (pl *Plan) BestEFT(i dag.TaskID, insertion bool) (proc int, start, finish float64) {
+	if ForceTreeSelect || pl.in.P() >= TreeSelectThreshold {
+		return pl.bestEFTTree(i, insertion)
+	}
+	// Gather each predecessor's (finish, proc, data) once instead of
+	// re-walking adjacency and copy lists inside DataReady for every
+	// processor. Stack arrays keep the scan allocation- and race-free;
+	// duplicated predecessors, wide fan-in and contended models take the
+	// general path. The per-arrival expression and the pred/copy
+	// iteration order match DataReady exactly, so readiness times are
+	// bit-identical.
+	var finA [16]float64
+	var dataA [16]float64
+	var procA [16]int32
+	gathered := -1
+	if pl.comm == nil {
+		preds := pl.in.G.Pred(i)
+		if len(preds) <= len(finA) {
+			gathered = len(preds)
+			for k, pe := range preds {
+				copies := pl.byTask[pe.To]
+				if len(copies) != 1 {
+					if len(copies) == 0 {
+						panic(fmt.Sprintf("sched: task %d scheduled before predecessor %d", i, pe.To))
+					}
+					gathered = -1
+					break
+				}
+				finA[k] = copies[0].Finish
+				procA[k] = int32(copies[0].Proc)
+				dataA[k] = pe.Data
+			}
+		}
+	}
 	start, finish = math.Inf(1), math.Inf(1)
 	for p := 0; p < pl.in.P(); p++ {
-		s, f := pl.EFTOn(i, p, insertion)
-		if f < finish {
+		var ready float64
+		if gathered >= 0 {
+			for k := 0; k < gathered; k++ {
+				if t := finA[k] + pl.in.CommCost(int(procA[k]), p, dataA[k]); t > ready {
+					ready = t
+				}
+			}
+		} else {
+			ready = pl.DataReady(i, p)
+		}
+		dur := pl.in.Cost(i, p)
+		// finish on p is at least ready+dur (slots never start before
+		// ready, and float addition is monotone), so a processor whose
+		// floor already loses — or ties, which keep the earlier, smaller
+		// id — skips the slot search entirely.
+		if ready+dur >= finish {
+			continue
+		}
+		s := pl.FindSlot(p, ready, dur, insertion)
+		if f := s + dur; f < finish {
 			proc, start, finish = p, s, f
 		}
 	}
@@ -334,9 +418,14 @@ func (pl *Plan) insert(a Assignment) {
 	t[k] = a
 	pl.procs[a.Proc] = t
 	pl.gaps[a.Proc].Occupy(a.Start, a.Finish)
-	if a.Dup {
+	switch {
+	case a.Dup:
 		pl.byTask[a.Task] = append(pl.byTask[a.Task], a)
-	} else {
+	case len(pl.byTask[a.Task]) == 0:
+		// The common case: the primary is the first copy and lands in the
+		// task's arena slot without allocating.
+		pl.byTask[a.Task] = append(pl.byTask[a.Task], a)
+	default:
 		pl.byTask[a.Task] = append([]Assignment{a}, pl.byTask[a.Task]...)
 	}
 }
@@ -373,8 +462,22 @@ func (pl *Plan) Clone() *Plan {
 		cp.procs[p] = append([]Assignment(nil), pl.procs[p]...)
 		cp.gaps[p] = pl.gaps[p].Clone()
 	}
+	// Rebuild the copy lists on a fresh arena: tasks with at most one copy
+	// (nearly all of them) share it, capacity-clamped so a later append
+	// spills to the heap instead of clobbering the neighbouring slot; only
+	// duplicated tasks need their own heap slice.
+	arena := make([]Assignment, pl.in.N())
 	for i := range pl.byTask {
-		cp.byTask[i] = append([]Assignment(nil), pl.byTask[i]...)
+		src := pl.byTask[i]
+		switch len(src) {
+		case 0:
+			cp.byTask[i] = arena[i : i : i+1]
+		case 1:
+			arena[i] = src[0]
+			cp.byTask[i] = arena[i : i+1 : i+1]
+		default:
+			cp.byTask[i] = append([]Assignment(nil), src...)
+		}
 	}
 	return cp
 }

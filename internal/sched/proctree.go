@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"dagsched/internal/dag"
+)
+
+// Tree-indexed processor selection: BestEFT over a bound-pruned tournament
+// heap. The linear scan pays a full EFT evaluation — data-ready loop over
+// predecessors × copies plus a gap query — on every processor. At large P
+// most of those evaluations are wasted on processors that cannot win. The
+// heap orders processors by a cheap lower bound on their finish time and
+// evaluates exact EFTs in bound order, stopping as soon as the next bound
+// proves no remaining processor can beat (or tie-break past) the incumbent.
+//
+// Correctness rests on the bounds being true float lower bounds of the
+// exact finish:
+//
+//   - readyLB = max over predecessors of the minimum copy finish. Every
+//     arrival is copyFinish + comm with comm >= 0 (contended transfers
+//     start at or after the copy's release), and float addition of a
+//     non-negative term never rounds below the other operand, so
+//     DataReady >= readyLB on every processor.
+//   - FindSlot is monotone in ready, so start >= FindSlot(p, 0, dur) —
+//     queried through the gap index when it is exact — and also
+//     start >= readyLB. Float addition is monotone, so
+//     finish = fl(start+dur) >= fl(bound+dur).
+//
+// A blocked processor's exact finish is +Inf, which every bound trivially
+// under-estimates. The pop rule keeps the canonical tie-break (smallest
+// finish, then smallest processor id) bit-identical to the linear scan.
+
+// TreeSelectThreshold is the processor count from which BestEFT switches
+// from the linear scan to the bound-pruned heap. Below it the heap's
+// bookkeeping costs more than the handful of exact evaluations it avoids.
+// Tests lower it (together with ForceTreeSelect) to drive the heap on
+// small systems.
+var TreeSelectThreshold = 32
+
+// ForceTreeSelect pins BestEFT to the heap path regardless of the
+// processor count; it exists for the differential tests that prove the two
+// paths bit-identical on the golden suite.
+var ForceTreeSelect = false
+
+// procCand is one heap entry: a processor and the lower bound on the
+// finish time task i would achieve there.
+type procCand struct {
+	lb float64
+	p  int32
+}
+
+// bestEFTTree is the heap-pruned BestEFT. It returns exactly what the
+// linear scan returns, including the (proc 0, +Inf, +Inf) answer when
+// every processor is blocked.
+func (pl *Plan) bestEFTTree(i dag.TaskID, insertion bool) (proc int, start, finish float64) {
+	// Processor-independent ready bound: the earliest any input of i can
+	// exist anywhere.
+	readyLB := 0.0
+	for _, pe := range pl.in.G.Pred(i) {
+		copies := pl.byTask[pe.To]
+		if len(copies) == 0 {
+			panic(fmt.Sprintf("sched: task %d scheduled before predecessor %d", i, pe.To))
+		}
+		minFinish := math.Inf(1)
+		for _, c := range copies {
+			if c.Finish < minFinish {
+				minFinish = c.Finish
+			}
+		}
+		if minFinish > readyLB {
+			readyLB = minFinish
+		}
+	}
+
+	P := pl.in.P()
+	heap := make([]procCand, P)
+	for p := 0; p < P; p++ {
+		dur := pl.in.Cost(i, p)
+		bound := readyLB
+		if insertion {
+			if fit, ok := pl.gaps[p].EarliestFit(0, dur); ok && fit > bound {
+				bound = fit
+			}
+		} else if pr := pl.ProcReady(p); pr > bound {
+			bound = pr
+		}
+		heap[p] = procCand{lb: bound + dur, p: int32(p)}
+	}
+	heapify(heap)
+
+	proc, start, finish = 0, math.Inf(1), math.Inf(1)
+	for len(heap) > 0 {
+		cand := heap[0]
+		heap = heapPop(heap)
+		p := int(cand.p)
+		// No remaining processor can beat the incumbent: every unpopped
+		// bound is >= cand.lb, and a later processor tying the incumbent's
+		// finish loses the id tie-break.
+		if !(cand.lb < finish || (cand.lb == finish && p < proc)) {
+			break
+		}
+		s, f := pl.EFTOn(i, p, insertion)
+		if f < finish || (f == finish && p < proc) {
+			proc, start, finish = p, s, f
+		}
+	}
+	return proc, start, finish
+}
+
+// heapLess orders candidates by (bound, processor id): popping in this
+// order makes the evaluation sequence — and therefore the tie-break
+// outcome — deterministic.
+func heapLess(a, b procCand) bool {
+	if a.lb != b.lb {
+		return a.lb < b.lb
+	}
+	return a.p < b.p
+}
+
+func heapify(h []procCand) {
+	for k := len(h)/2 - 1; k >= 0; k-- {
+		heapDown(h, k)
+	}
+}
+
+func heapPop(h []procCand) []procCand {
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	if len(h) > 1 {
+		heapDown(h, 0)
+	}
+	return h
+}
+
+func heapDown(h []procCand, k int) {
+	for {
+		l := 2*k + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && heapLess(h[r], h[l]) {
+			m = r
+		}
+		if !heapLess(h[m], h[k]) {
+			return
+		}
+		h[k], h[m] = h[m], h[k]
+		k = m
+	}
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+// linearBestEFT is the reference O(P) scan, kept verbatim so the property
+// tests compare the heap against the canonical semantics even after the
+// dispatcher routes large systems to the tree.
+func linearBestEFT(pl *Plan, i dag.TaskID, insertion bool) (proc int, start, finish float64) {
+	start, finish = math.Inf(1), math.Inf(1)
+	for p := 0; p < pl.in.P(); p++ {
+		s, f := pl.EFTOn(i, p, insertion)
+		if f < finish {
+			proc, start, finish = p, s, f
+		}
+	}
+	return proc, start, finish
+}
+
+// TestBestEFTTreeMatchesLinear grows random schedules task by task; at
+// every step the heap must return the same (proc, start, finish) as the
+// linear scan, bit for bit — including ties engineered by integer costs on
+// a homogeneous system, partially blocked processors and duplicated
+// copies.
+func TestBestEFTTreeMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		procs := 2 + rng.Intn(12)
+		in := integerInstance(t, rng, 10+rng.Intn(60), procs)
+		pl := NewPlan(in)
+		if trial%3 == 1 {
+			pl.BlockProc(rng.Intn(procs), float64(rng.Intn(20)))
+		}
+		insertion := trial%2 == 0
+		for _, v := range in.G.TopoOrder() {
+			lp, ls, lf := linearBestEFT(pl, v, insertion)
+			tp, ts, tf := pl.bestEFTTree(v, insertion)
+			if lp != tp || ls != ts || lf != tf {
+				t.Fatalf("trial %d task %d: tree (%d,%.17g,%.17g) != linear (%d,%.17g,%.17g)",
+					trial, v, tp, ts, tf, lp, ls, lf)
+			}
+			if math.IsInf(lf, 1) {
+				// Fully blocked: place on the reference answer's processor
+				// is impossible; stop growing this plan.
+				break
+			}
+			pl.Place(v, lp, ls)
+			// Occasionally duplicate onto another processor so later
+			// data-ready bounds see multi-copy predecessors.
+			if rng.Intn(6) == 0 && procs > 1 {
+				q := (lp + 1 + rng.Intn(procs-1)) % procs
+				ready := pl.DataReady(v, q)
+				s := pl.FindSlot(q, ready, in.Cost(v, q), true)
+				if !math.IsInf(s, 1) {
+					pl.PlaceDup(v, q, s)
+				}
+			}
+		}
+	}
+}
+
+// TestBestEFTTreeContended repeats the equivalence under a contended
+// communication model, where DataReady routes through reservation queries.
+func TestBestEFTTreeContended(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		procs := 3 + rng.Intn(6)
+		base := integerInstance(t, rng, 8+rng.Intn(40), procs)
+		in := base.WithComm(platform.OnePort(base.Sys))
+		pl := NewPlan(in)
+		for _, v := range in.G.TopoOrder() {
+			lp, ls, lf := linearBestEFT(pl, v, true)
+			tp, ts, tf := pl.bestEFTTree(v, true)
+			if lp != tp || ls != ts || lf != tf {
+				t.Fatalf("trial %d task %d: tree (%d,%g,%g) != linear (%d,%g,%g)",
+					trial, v, tp, ts, tf, lp, ls, lf)
+			}
+			pl.Place(v, lp, ls)
+		}
+	}
+}
+
+// TestBestEFTDispatch checks the threshold plumbing: ForceTreeSelect and
+// a lowered TreeSelectThreshold both route BestEFT through the heap.
+func TestBestEFTDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	in := integerInstance(t, rng, 30, 4)
+	run := func() []int {
+		pl := NewPlan(in)
+		var picks []int
+		for _, v := range in.G.TopoOrder() {
+			p, s, _ := pl.BestEFT(v, true)
+			pl.Place(v, p, s)
+			picks = append(picks, p)
+		}
+		return picks
+	}
+	base := run()
+	oldForce, oldThresh := ForceTreeSelect, TreeSelectThreshold
+	defer func() { ForceTreeSelect, TreeSelectThreshold = oldForce, oldThresh }()
+	ForceTreeSelect = true
+	forced := run()
+	ForceTreeSelect = false
+	TreeSelectThreshold = 1
+	lowered := run()
+	for i := range base {
+		if base[i] != forced[i] || base[i] != lowered[i] {
+			t.Fatalf("pick %d differs: linear %d, forced %d, threshold %d",
+				i, base[i], forced[i], lowered[i])
+		}
+	}
+}
+
+// integerInstance builds a random instance with small integer costs and
+// comm data so EFT ties across processors are common — the regime where a
+// wrong tie-break in the heap shows up immediately.
+func integerInstance(t testing.TB, rng *rand.Rand, n, procs int) *Instance {
+	t.Helper()
+	b := dag.NewBuilder("int")
+	for i := 0; i < n; i++ {
+		b.AddTask("", float64(1+rng.Intn(5)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.15 {
+				b.AddEdge(dag.TaskID(i), dag.TaskID(j), float64(rng.Intn(4)))
+			}
+		}
+	}
+	g := b.MustBuild()
+	sys := platform.Homogeneous(procs, 0, 1)
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, procs)
+		for p := range w[i] {
+			w[i][p] = float64(1 + rng.Intn(5))
+		}
+	}
+	in, err := NewInstance(g, sys, w)
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return in
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"math"
 	"sort"
 
 	"dagsched/internal/dag"
@@ -28,16 +29,35 @@ func RankUpwardSigma(in *Instance) []float64 {
 	return rankUpwardWith(in, comp)
 }
 
+// rankUpwardWith runs the upward-rank recurrence over the exit-anchored
+// height levels: every successor of a task lives in a strictly earlier
+// level, so levels can be swept in order — and each level sharded over
+// workers on large instances — while every task computes the exact float
+// expression of the sequential reverse-topological sweep. The two paths
+// are bit-identical because a task's rank depends only on already-final
+// values and its own successor loop order (adjacency order) is unchanged.
 func rankUpwardWith(in *Instance, comp []float64) []float64 {
 	ranks := make([]float64, in.N())
-	for _, v := range in.G.ReverseTopoOrder() {
-		best := 0.0
-		for j, a := range in.G.Succ(v) {
-			if cand := in.meanCommSucc[v][j] + ranks[a.To]; cand > best {
-				best = cand
+	off, tasks := in.G.HeightLevels()
+	eval := func(lo, hi int, set []dag.TaskID) {
+		for _, v := range set[lo:hi] {
+			best := 0.0
+			comm := in.meanCommSuccRow(v)
+			for j, a := range in.G.Succ(v) {
+				if cand := comm[j] + ranks[a.To]; cand > best {
+					best = cand
+				}
 			}
+			ranks[v] = comp[v] + best
 		}
-		ranks[v] = comp[v] + best
+	}
+	if useParallelRanks(in.N()) {
+		for l := 0; l+1 < len(off); l++ {
+			set := tasks[off[l]:off[l+1]]
+			levelFor(len(set), func(lo, hi int) { eval(lo, hi, set) })
+		}
+	} else {
+		eval(0, len(tasks), tasks)
 	}
 	return ranks
 }
@@ -45,33 +65,59 @@ func rankUpwardWith(in *Instance, comp []float64) []float64 {
 // RankDownward returns rank_d(i) = max over predecessors m of
 // (rank_d(m) + w̄(m) + c̄(m,i)); entry tasks have rank 0. rank_d is the
 // length of the longest mean-cost path from an entry up to (excluding) i.
+// It sweeps the entry-anchored depth levels (see rankUpwardWith for why
+// this is bit-identical to the topological-order sweep).
 func RankDownward(in *Instance) []float64 {
 	ranks := make([]float64, in.N())
-	for _, v := range in.G.TopoOrder() {
-		best := 0.0
-		for j, p := range in.G.Pred(v) {
-			if cand := ranks[p.To] + in.meanW[p.To] + in.meanCommPred[v][j]; cand > best {
-				best = cand
+	off, tasks := in.G.DepthLevels()
+	eval := func(lo, hi int, set []dag.TaskID) {
+		for _, v := range set[lo:hi] {
+			best := 0.0
+			comm := in.meanCommPredRow(v)
+			for j, p := range in.G.Pred(v) {
+				if cand := ranks[p.To] + in.meanW[p.To] + comm[j]; cand > best {
+					best = cand
+				}
 			}
+			ranks[v] = best
 		}
-		ranks[v] = best
+	}
+	if useParallelRanks(in.N()) {
+		for l := 0; l+1 < len(off); l++ {
+			set := tasks[off[l]:off[l+1]]
+			levelFor(len(set), func(lo, hi int) { eval(lo, hi, set) })
+		}
+	} else {
+		eval(0, len(tasks), tasks)
 	}
 	return ranks
 }
 
 // StaticLevel returns SL(i): the largest sum of mean execution costs along
 // any path from i to an exit, communication excluded (Sih & Lee's static
-// level, also HLFET's priority).
+// level, also HLFET's priority). Like the other rank kernels it sweeps the
+// height levels, going wide per level on large instances.
 func StaticLevel(in *Instance) []float64 {
 	sl := make([]float64, in.N())
-	for _, v := range in.G.ReverseTopoOrder() {
-		best := 0.0
-		for _, a := range in.G.Succ(v) {
-			if sl[a.To] > best {
-				best = sl[a.To]
+	off, tasks := in.G.HeightLevels()
+	eval := func(lo, hi int, set []dag.TaskID) {
+		for _, v := range set[lo:hi] {
+			best := 0.0
+			for _, a := range in.G.Succ(v) {
+				if sl[a.To] > best {
+					best = sl[a.To]
+				}
 			}
+			sl[v] = in.meanW[v] + best
 		}
-		sl[v] = in.meanW[v] + best
+	}
+	if useParallelRanks(in.N()) {
+		for l := 0; l+1 < len(off); l++ {
+			set := tasks[off[l]:off[l+1]]
+			levelFor(len(set), func(lo, hi int) { eval(lo, hi, set) })
+		}
+	} else {
+		eval(0, len(tasks), tasks)
 	}
 	return sl
 }
@@ -108,31 +154,56 @@ func CriticalPathMean(in *Instance) ([]dag.TaskID, float64) {
 			cp = s
 		}
 	}
-	const eps = 1e-9
+	// The trace tolerance must scale with the path length: up+down along
+	// the true critical path differs from cp only by float association
+	// dust, which is proportional to cp's magnitude (~ulp(cp) per term),
+	// not an absolute constant. A fixed 1e-9 band loses the path entirely
+	// once costs reach ~1e12, where a single ulp already exceeds it. The
+	// absolute floor keeps the band no tighter than before on small
+	// instances, so existing traces are unchanged.
+	tol := 1e-9
+	if rel := cp * 1e-12; rel > tol {
+		tol = rel
+	}
 	// Start from the entry task whose up+down equals the CP length.
 	var start dag.TaskID = -1
 	for _, e := range in.G.Entries() {
-		if up[e]+down[e] >= cp-eps {
+		if up[e]+down[e] >= cp-tol {
 			start = e
 			break
 		}
 	}
 	if start == -1 {
-		// Unreachable: some entry always lies on the critical path.
-		panic("sched: no critical-path entry found")
+		// Rounding pushed every entry below the band; fall back to the
+		// entry with the largest up+down (smallest id on ties), which is
+		// on a true longest path up to float error.
+		bestSum := math.Inf(-1)
+		for _, e := range in.G.Entries() {
+			if s := up[e] + down[e]; s > bestSum {
+				bestSum, start = s, e
+			}
+		}
 	}
 	path := []dag.TaskID{start}
 	cur := start
 	for in.G.OutDegree(cur) > 0 {
 		next := dag.TaskID(-1)
 		for _, a := range in.G.Succ(cur) {
-			if up[a.To]+down[a.To] >= cp-eps {
+			if up[a.To]+down[a.To] >= cp-tol {
 				next = a.To
 				break
 			}
 		}
 		if next == -1 {
-			break
+			// Same fallback mid-trace: pick the max-sum successor so the
+			// path always reaches an exit task instead of silently
+			// truncating (CPOP treats the last element as the exit).
+			bestSum := math.Inf(-1)
+			for _, a := range in.G.Succ(cur) {
+				if s := up[a.To] + down[a.To]; s > bestSum {
+					bestSum, next = s, a.To
+				}
+			}
 		}
 		path = append(path, next)
 		cur = next

@@ -143,6 +143,79 @@ func TestCriticalPathMeanRandomProperty(t *testing.T) {
 	}
 }
 
+// TestCriticalPathMeanLargeMagnitude is the regression test for the trace
+// tolerance. On a long chain of ~1e12-cost tasks the critical path length
+// reaches ~1e15, where one ulp is 0.125: up[v]+down[v] recomputes the same
+// path sum in a different association order than cp, so the two differ by
+// float dust far above the old absolute 1e-9 band. The old trace then found
+// no successor inside the band and silently truncated the path; the scaled
+// tolerance must keep the full chain and end at the exit task.
+func TestCriticalPathMeanLargeMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const n = 1000
+	b := dag.NewBuilder("huge-chain")
+	for i := 0; i < n; i++ {
+		b.AddTask("", 1e12*(1+rng.Float64()))
+	}
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(dag.TaskID(i), dag.TaskID(i+1), 1e12*rng.Float64())
+	}
+	g := b.MustBuild()
+	in := Consistent(g, platform.Homogeneous(3, 0, 1))
+	path, cp := CriticalPathMean(in)
+	if cp < 1e15 {
+		t.Fatalf("cp = %g, expected ~1e15 magnitude", cp)
+	}
+	if len(path) != n {
+		t.Fatalf("path truncated: %d of %d chain tasks", len(path), n)
+	}
+	last := path[len(path)-1]
+	if in.G.OutDegree(last) != 0 {
+		t.Fatalf("path ends at task %d which is not an exit", last)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if _, ok := g.EdgeData(path[i], path[i+1]); !ok {
+			t.Fatalf("path step %d->%d not an edge", path[i], path[i+1])
+		}
+	}
+}
+
+// TestCriticalPathMeanAlwaysReachesExit extends the exit guarantee to
+// random branched graphs with large magnitudes: regardless of rounding,
+// the traced path must be edge-contiguous and terminate at an exit task.
+func TestCriticalPathMeanAlwaysReachesExit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		b := dag.NewBuilder("huge-rand")
+		n := 50 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			b.AddTask("", 1e11*(1+rng.Float64()*9))
+		}
+		added := make(map[[2]int]bool)
+		for i := 1; i < n; i++ {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				from := rng.Intn(i)
+				if !added[[2]int{from, i}] {
+					added[[2]int{from, i}] = true
+					b.AddEdge(dag.TaskID(from), dag.TaskID(i), 1e11*rng.Float64())
+				}
+			}
+		}
+		g := b.MustBuild()
+		in := Consistent(g, platform.Homogeneous(4, 0.5, 1))
+		path, _ := CriticalPathMean(in)
+		last := path[len(path)-1]
+		if in.G.OutDegree(last) != 0 {
+			t.Fatalf("trial %d: path ends at non-exit task %d", trial, last)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if _, ok := g.EdgeData(path[i], path[i+1]); !ok {
+				t.Fatalf("trial %d: path step %d->%d not an edge", trial, path[i], path[i+1])
+			}
+		}
+	}
+}
+
 func TestSortByRank(t *testing.T) {
 	rank := []float64{3, 5, 5, 1}
 	desc := SortByRankDesc(rank)

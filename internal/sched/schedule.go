@@ -207,12 +207,35 @@ func buildSchedule(in *Instance, algorithm string, procs [][]Assignment) *Schedu
 		procs:     make([][]Assignment, len(procs)),
 		byTask:    make([][]Assignment, in.N()),
 	}
+	total := 0
 	for p := range procs {
 		s.procs[p] = append([]Assignment(nil), procs[p]...)
 		sort.Slice(s.procs[p], func(a, b int) bool { return s.procs[p][a].Start < s.procs[p][b].Start })
+		total += len(s.procs[p])
+	}
+	// Bucket the copies into one arena keyed by task instead of growing
+	// n per-task slices: two counting passes and two allocations.
+	counts := make([]int32, in.N()+1)
+	for p := range s.procs {
 		for _, a := range s.procs[p] {
-			s.byTask[a.Task] = append(s.byTask[a.Task], a)
+			counts[a.Task+1]++
 		}
+	}
+	for i := 0; i < in.N(); i++ {
+		counts[i+1] += counts[i]
+	}
+	arena := make([]Assignment, total)
+	fill := make([]int32, in.N())
+	for p := range s.procs {
+		for _, a := range s.procs[p] {
+			k := counts[a.Task] + fill[a.Task]
+			arena[k] = a
+			fill[a.Task]++
+		}
+	}
+	for i := range s.byTask {
+		lo, hi := counts[i], counts[i+1]
+		s.byTask[i] = arena[lo:hi:hi]
 	}
 	for i := range s.byTask {
 		copies := s.byTask[i]
