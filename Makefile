@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent bench-smoke fuzz-smoke scale ci
+.PHONY: all build vet test race race-concurrent bench-smoke fuzz-smoke scale service-bench ci
 
 all: build
 
@@ -30,7 +30,9 @@ race:
 
 # Focused race pass over the concurrency-heavy subsystems: the
 # experiment repetition worker pool, the schedd service (worker pool,
-# cache, graceful shutdown), the speculative-transaction layer (including
+# cache, graceful shutdown, singleflight coalescing, the batch fan-out
+# and the 3-node consistent-hash ring e2e — forwarding, peer-cache
+# probes, failover), the speculative-transaction layer (including
 # cloned comm-state trials under contended models), the ILS trial
 # machinery, the contention-aware wrappers, the differential suite
 # with the per-processor trial workers forced on (and the parallel
@@ -53,6 +55,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkMCPScaling' -benchtime 1x ./internal/algo/listsched
 	$(GO) test -run '^$$' -bench 'BenchmarkILSEndToEnd' -benchtime 1x ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkPopulationEval' -benchtime 1x ./internal/adversary
+	$(GO) test -run '^$$' -bench 'BenchmarkBatchEndpoint' -benchtime 1x ./internal/service
 
 # A few seconds of coverage-guided fuzzing per parser entry point.
 fuzz-smoke:
@@ -66,5 +69,10 @@ fuzz-smoke:
 # Regenerate BENCH_sched.json (real measurement; takes a minute).
 scale:
 	$(GO) run ./cmd/schedbench -scale -out BENCH_sched.json
+
+# Regenerate BENCH_service.json: serving-tier batch throughput over
+# real HTTP against an in-process schedd.
+service-bench:
+	$(GO) run ./cmd/schedbench -service -out BENCH_service.json
 
 ci: vet race race-concurrent bench-smoke

@@ -443,6 +443,13 @@ type (
 	ScheduleResponse = service.ScheduleResponse
 	// ServiceMetrics is the body of schedd's GET /metrics.
 	ServiceMetrics = service.MetricsSnapshot
+	// BatchRequest is the wire form of POST /v1/schedule/batch: many
+	// scheduling queries answered in one round trip.
+	BatchRequest = service.BatchRequest
+	// BatchResponse carries per-item results in request order.
+	BatchResponse = service.BatchResponse
+	// BatchItemResult is one item's outcome within a BatchResponse.
+	BatchItemResult = service.BatchItemResult
 )
 
 // Serve runs the schedd scheduling service until ctx is canceled, then

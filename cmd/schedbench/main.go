@@ -8,6 +8,7 @@
 //	schedbench -reps 50 -seed 7 # more repetitions, different seed
 //	schedbench -scale           # scheduler-throughput sweep -> BENCH_sched.json
 //	schedbench -scale -out -    # same, JSON on stdout
+//	schedbench -service         # serving-tier batch benchmark -> BENCH_service.json
 package main
 
 import (
@@ -29,7 +30,8 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		workers = flag.Int("workers", 0, "repetition worker pool size (0 = GOMAXPROCS); never affects results")
 		scale   = flag.Bool("scale", false, "run the scheduler-throughput sweep instead of the experiment suite")
-		out     = flag.String("out", "BENCH_sched.json", "output path for -scale ('-' = stdout)")
+		svc     = flag.Bool("service", false, "run the serving-tier batch benchmark instead of the experiment suite")
+		out     = flag.String("out", "", "output path for -scale/-service ('-' = stdout; default BENCH_sched.json / BENCH_service.json)")
 		linkSp  = flag.Float64("link-spread", 0, "per-link transfer-rate spread in [0,2) for -scale instances (0 = uniform links)")
 		startSp = flag.Float64("startup-spread", 0, "per-link startup spread in [0,2) for -scale instances")
 		faults    = flag.String("faults", "", "comma-separated crash rates for the robustness experiment E21 (overrides its default sweep)")
@@ -37,8 +39,25 @@ func main() {
 	)
 	flag.Parse()
 
+	if *scale && *svc {
+		fatal(fmt.Errorf("-scale and -service are mutually exclusive"))
+	}
 	if *scale {
-		if err := runScale(*out, *reps, *seed, *quick, *linkSp, *startSp); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_sched.json"
+		}
+		if err := runScale(path, *reps, *seed, *quick, *linkSp, *startSp); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *svc {
+		path := *out
+		if path == "" {
+			path = "BENCH_service.json"
+		}
+		if err := runService(path, *reps, *seed, *quick); err != nil {
 			fatal(err)
 		}
 		return

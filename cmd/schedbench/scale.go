@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"dagsched"
@@ -50,6 +51,12 @@ var scaleSizeCap = map[string]int{
 // scaleDefaultCap bounds algorithms without an explicit entry above.
 const scaleDefaultCap = 10000
 
+// scaleParallelGate bounds the sizes measured by the parallel-throughput
+// column: concurrent scheduling of independent instances models the
+// service tier, which serves many small problems rather than one huge
+// one.
+const scaleParallelGate = 10000
+
 // scaleReport is the machine-readable output of the -scale mode.
 type scaleReport struct {
 	Suite     string        `json:"suite"`
@@ -85,6 +92,9 @@ type scaleConfig struct {
 	StartupSpread float64 `json:"startup_spread,omitempty"`
 	Reps          int     `json:"reps"`
 	Seed          int64   `json:"seed"`
+	// MaxProcs is the GOMAXPROCS the parallel-throughput column ran
+	// under — its concurrency level.
+	MaxProcs int `json:"maxprocs"`
 }
 
 type scaleResult struct {
@@ -100,6 +110,15 @@ type scaleResult struct {
 	// the memory-scaling headline for the 100k–1M tiers.
 	BytesPerTask float64 `json:"bytes_per_task"`
 	Makespan     float64 `json:"makespan"`
+	// ParNsPerTask is the per-task cost when GOMAXPROCS independent
+	// instances are scheduled concurrently (total tasks / wall-clock):
+	// the service-tier throughput figure. Zero when the size is above
+	// the parallel gate or the host has a single CPU's worth of
+	// parallelism to offer.
+	ParNsPerTask float64 `json:"par_ns_per_task,omitempty"`
+	// ParSpeedup is BestNs-per-task divided by ParNsPerTask — how much
+	// aggregate throughput concurrent scheduling buys over one core.
+	ParSpeedup float64 `json:"par_speedup,omitempty"`
 }
 
 // runScale times every registry algorithm on layered random DAGs at the
@@ -115,13 +134,15 @@ func runScale(outPath string, reps int, seed int64, quick bool, linkSpread, star
 	if reps <= 0 {
 		reps = 3
 	}
+	par := runtime.GOMAXPROCS(0)
 	rep := scaleReport{
 		Suite:     "dagsched-scale",
 		GoVersion: runtime.Version(),
 		GoOSArch:  runtime.GOOS + "/" + runtime.GOARCH,
 		CPU:       cpuModel(),
 		Config: scaleConfig{Sizes: sizes, Procs: 8, CCR: 1, Beta: 1,
-			LinkSpread: linkSpread, StartupSpread: startupSpread, Reps: reps, Seed: seed},
+			LinkSpread: linkSpread, StartupSpread: startupSpread, Reps: reps, Seed: seed,
+			MaxProcs: par},
 	}
 	for _, n := range sizes {
 		rng := rand.New(rand.NewSource(seed + int64(n)))
@@ -133,6 +154,28 @@ func runScale(outPath string, reps int, seed int64, quick bool, linkSpread, star
 			LinkSpread: linkSpread, StartupSpread: startupSpread}, rng)
 		if err != nil {
 			return err
+		}
+		// Independent instances for the parallel-throughput column: one
+		// per GOMAXPROCS slot, each its own graph and system, so
+		// concurrent Schedule calls share no mutable state. Gated at the
+		// 10k tier — above it the sequential sweep already costs seconds
+		// per rep, and service-style concurrency serves many small
+		// problems, not one huge one.
+		var parIns []*dagsched.Instance
+		if n <= scaleParallelGate {
+			parIns = append(parIns, in)
+			for c := 1; c < par; c++ {
+				pg, err := dagsched.RandomDAG(dagsched.RandomDAGConfig{N: n}, rng)
+				if err != nil {
+					return err
+				}
+				pin, err := dagsched.MakeInstance(pg, dagsched.WorkloadConfig{Procs: 8, CCR: 1, Beta: 1,
+					LinkSpread: linkSpread, StartupSpread: startupSpread}, rng)
+				if err != nil {
+					return err
+				}
+				parIns = append(parIns, pin)
+			}
 		}
 		for _, a := range dagsched.Algorithms() {
 			cap, ok := scaleSizeCap[a.Name()]
@@ -188,11 +231,65 @@ func runScale(outPath string, reps int, seed int64, quick bool, linkSpread, star
 			}
 			res.MeanNs = total.Nanoseconds() / int64(effReps)
 			res.NsPerTask = float64(res.BestNs) / float64(n)
+			if len(parIns) > 0 {
+				best, err := parallelThroughput(a, parIns, effReps)
+				if err != nil {
+					return fmt.Errorf("%s parallel at n=%d: %w", a.Name(), n, err)
+				}
+				res.ParNsPerTask = float64(best.Nanoseconds()) / float64(n*len(parIns))
+				if res.ParNsPerTask > 0 {
+					res.ParSpeedup = res.NsPerTask / res.ParNsPerTask
+				}
+			}
 			rep.Results = append(rep.Results, res)
-			fmt.Fprintf(os.Stderr, "scale: %-8s n=%-7d best=%-12s ns/task=%-8.0f B/task=%.0f\n",
-				res.Algorithm, n, time.Duration(res.BestNs).Round(time.Microsecond), res.NsPerTask, res.BytesPerTask)
+			fmt.Fprintf(os.Stderr, "scale: %-8s n=%-7d best=%-12s ns/task=%-8.0f B/task=%-8.0f par=%.2fx\n",
+				res.Algorithm, n, time.Duration(res.BestNs).Round(time.Microsecond), res.NsPerTask, res.BytesPerTask, res.ParSpeedup)
 		}
 	}
+	return writeScaleReport(&rep, outPath)
+}
+
+// parallelThroughput times len(ins) concurrent Schedule calls — one
+// goroutine per independent instance — returning the best wall-clock of
+// reps rounds. One untimed warm round matches the sequential protocol.
+func parallelThroughput(a dagsched.Algorithm, ins []*dagsched.Instance, reps int) (time.Duration, error) {
+	run := func() (time.Duration, error) {
+		errs := make([]error, len(ins))
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c, in := range ins {
+			wg.Add(1)
+			go func(c int, in *dagsched.Instance) {
+				defer wg.Done()
+				_, errs[c] = a.Schedule(in)
+			}(c, in)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		return elapsed, nil
+	}
+	if _, err := run(); err != nil {
+		return 0, err
+	}
+	var best time.Duration
+	for r := 0; r < reps; r++ {
+		elapsed, err := run()
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	return best, nil
+}
+
+func writeScaleReport(rep *scaleReport, outPath string) error {
 	sort.SliceStable(rep.Results, func(i, j int) bool {
 		if rep.Results[i].N != rep.Results[j].N {
 			return rep.Results[i].N < rep.Results[j].N

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"dagsched"
+	"dagsched/internal/service"
+)
+
+// serviceReport is the machine-readable output of the -service mode:
+// the serving-tier throughput headline, comparing one 64-item batch
+// round trip against 64 sequential single-request round trips on an
+// in-process schedd.
+type serviceReport struct {
+	Suite      string        `json:"suite"`
+	GoVersion  string        `json:"go_version"`
+	GoOSArch   string        `json:"goos_goarch"`
+	CPU        string        `json:"cpu"`
+	Config     serviceConfig `json:"config"`
+	Sequential serviceLeg    `json:"sequential"`
+	Batch      serviceLeg    `json:"batch"`
+	// Speedup is sequential total wall-clock over batch total
+	// wall-clock for the same items: what one batch round trip buys
+	// over N single round trips.
+	Speedup float64 `json:"batch_speedup"`
+}
+
+type serviceConfig struct {
+	Items     int    `json:"items"`
+	N         int    `json:"n"`
+	Procs     int    `json:"procs"`
+	Algorithm string `json:"algorithm"`
+	Workers   int    `json:"workers"`
+	Reps      int    `json:"reps"`
+	Seed      int64  `json:"seed"`
+}
+
+// serviceLeg is one protocol's measurements. Totals are best-of-reps;
+// the latency quantiles pool every single-request round trip across
+// reps (the batch leg has one latency per rep, so P50/P99 are omitted).
+type serviceLeg struct {
+	TotalMs  float64 `json:"total_ms"`
+	ReqPerS  float64 `json:"req_per_s"`
+	ItemPerS float64 `json:"items_per_s"`
+	P50Ms    float64 `json:"p50_ms,omitempty"`
+	P99Ms    float64 `json:"p99_ms,omitempty"`
+}
+
+// runService benchmarks the serving tier end to end over real HTTP:
+// an in-process schedd with caching disabled (every item computes), 64
+// distinct small instances, and reps rounds of sequential-singles
+// versus one-batch. Small instances are the point — they are the regime
+// where per-request HTTP and JSON overhead rivals scheduling cost, so
+// batching has something to amortize.
+func runService(outPath string, reps int, seed int64, quick bool) error {
+	items, n := 64, 30
+	if quick {
+		items = 16
+	}
+	if reps <= 0 {
+		reps = 5
+	}
+
+	srv := service.New(service.Options{
+		Addr:       "127.0.0.1:0",
+		QueueDepth: 2 * items,
+		CacheSize:  -1, // every item computes; this measures throughput, not caching
+	})
+	addr, err := srv.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	c := &service.Client{BaseURL: "http://" + addr, Retry: &service.RetryPolicy{MaxAttempts: 1}}
+
+	rng := rand.New(rand.NewSource(seed + 1))
+	reqs := make([]service.ScheduleRequest, items)
+	for i := range reqs {
+		g, err := dagsched.RandomDAG(dagsched.RandomDAGConfig{N: n}, rng)
+		if err != nil {
+			return err
+		}
+		in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: 4, CCR: 1, Beta: 1}, rng)
+		if err != nil {
+			return err
+		}
+		var sb strings.Builder
+		if err := in.WriteJSON(&sb); err != nil {
+			return err
+		}
+		reqs[i] = service.ScheduleRequest{Algorithm: "HEFT", Instance: []byte(sb.String())}
+	}
+	breq := service.BatchRequest{Items: reqs}
+	ctx := context.Background()
+
+	// Warm round of each protocol: first-connection and first-GC costs
+	// land outside the measurement, as in the -scale sweep.
+	if _, err := c.Schedule(ctx, reqs[0]); err != nil {
+		return fmt.Errorf("warm single: %w", err)
+	}
+	if _, err := c.ScheduleBatch(ctx, breq); err != nil {
+		return fmt.Errorf("warm batch: %w", err)
+	}
+
+	var bestSeq, bestBatch time.Duration
+	var lats []float64
+	for r := 0; r < reps; r++ {
+		seqStart := time.Now()
+		for i := range reqs {
+			reqStart := time.Now()
+			if _, err := c.Schedule(ctx, reqs[i]); err != nil {
+				return fmt.Errorf("rep %d single %d: %w", r, i, err)
+			}
+			lats = append(lats, float64(time.Since(reqStart).Microseconds())/1000)
+		}
+		if seq := time.Since(seqStart); bestSeq == 0 || seq < bestSeq {
+			bestSeq = seq
+		}
+		batchStart := time.Now()
+		bresp, err := c.ScheduleBatch(ctx, breq)
+		if err != nil {
+			return fmt.Errorf("rep %d batch: %w", r, err)
+		}
+		if bresp.Failed != 0 {
+			return fmt.Errorf("rep %d: %d batch items failed", r, bresp.Failed)
+		}
+		if b := time.Since(batchStart); bestBatch == 0 || b < bestBatch {
+			bestBatch = b
+		}
+		fmt.Fprintf(os.Stderr, "service: rep %d  sequential=%s  batch=%s\n",
+			r, bestSeq.Round(time.Microsecond), bestBatch.Round(time.Microsecond))
+	}
+	sort.Float64s(lats)
+
+	rep := serviceReport{
+		Suite:     "dagsched-service",
+		GoVersion: runtime.Version(),
+		GoOSArch:  runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:       cpuModel(),
+		Config: serviceConfig{Items: items, N: n, Procs: 4, Algorithm: "HEFT",
+			Workers: runtime.GOMAXPROCS(0), Reps: reps, Seed: seed},
+		Sequential: serviceLeg{
+			TotalMs:  float64(bestSeq.Microseconds()) / 1000,
+			ReqPerS:  float64(items) / bestSeq.Seconds(),
+			ItemPerS: float64(items) / bestSeq.Seconds(),
+			P50Ms:    quantile(lats, 0.50),
+			P99Ms:    quantile(lats, 0.99),
+		},
+		Batch: serviceLeg{
+			TotalMs:  float64(bestBatch.Microseconds()) / 1000,
+			ReqPerS:  1 / bestBatch.Seconds(),
+			ItemPerS: float64(items) / bestBatch.Seconds(),
+		},
+		Speedup: bestSeq.Seconds() / bestBatch.Seconds(),
+	}
+	fmt.Fprintf(os.Stderr, "service: %d items  sequential=%s  batch=%s  speedup=%.2fx\n",
+		items, bestSeq.Round(time.Microsecond), bestBatch.Round(time.Microsecond), rep.Speedup)
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(outPath, buf, 0o644)
+}
+
+// quantile reads the q-quantile from sorted xs by nearest rank.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}

@@ -10,6 +10,12 @@
 //	schedd -timeout 10s -max-timeout 1m     # tighter deadlines
 //	schedd -cache 0                         # disable the result cache
 //
+// A static cluster shards its cache over a consistent-hash ring: start
+// every node with the same -peers list and its own -self URL, e.g.
+//
+//	schedd -addr :8080 -self http://10.0.0.1:8080 \
+//	    -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
+//
 // SIGINT/SIGTERM shut the server down gracefully, draining in-flight
 // requests for up to -drain before exiting.
 package main
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -35,8 +42,18 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request scheduling deadline")
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		batchMax   = flag.Int("batch-max", 0, "max items per batch request (0 = default 256)")
+		self       = flag.String("self", "", "this node's base URL on the ring (required with -peers)")
+		peersCSV   = flag.String("peers", "", "comma-separated base URLs of all ring members, self included")
 	)
 	flag.Parse()
+
+	var peers []string
+	for _, p := range strings.Split(*peersCSV, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
 
 	opts := dagsched.ServiceOptions{
 		Addr:           *addr,
@@ -45,6 +62,9 @@ func main() {
 		CacheSize:      *cache,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		MaxBatchItems:  *batchMax,
+		SelfURL:        strings.TrimRight(*self, "/"),
+		Peers:          peers,
 	}
 	if opts.CacheSize == 0 {
 		opts.CacheSize = -1 // flag 0 means off; Options treats 0 as default
@@ -55,6 +75,9 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "schedd: serving on %s (workers=%d queue=%d cache=%d)\n",
 		*addr, *workers, *queue, *cache)
+	if len(peers) > 1 {
+		fmt.Fprintf(os.Stderr, "schedd: sharding as %s across %d peers\n", opts.SelfURL, len(peers))
+	}
 	if err := dagsched.Serve(ctx, opts, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "schedd: %v\n", err)
 		os.Exit(1)

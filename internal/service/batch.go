@@ -1,0 +1,103 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync"
+)
+
+// handleBatch serves POST /v1/schedule/batch: many scheduling queries
+// in one request, fanned out across the worker pool. Each item runs
+// under its own deadline (its timeoutMs, or the server default) with
+// partial-failure semantics — the batch answers 200 with per-item
+// statuses as long as the envelope itself was well-formed — and the
+// results array preserves request order. Items enqueue blocking (the
+// queue backpressures a large batch instead of 503ing its tail), go
+// through the same tiered cache as single requests (local LRU, then
+// the owning peer's cache, then compute), and coalesce with concurrent
+// identical work.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var breq BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&breq); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	n := len(breq.Items)
+	if n == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if n > s.opts.MaxBatchItems {
+		writeError(w, http.StatusBadRequest, "batch of %d items exceeds the %d-item limit", n, s.opts.MaxBatchItems)
+		return
+	}
+	s.met.ObserveBatch(n)
+	reqID, _ := r.Context().Value(reqIDKey{}).(string)
+	results := make([]BatchItemResult, n)
+	var wg sync.WaitGroup
+	for i := range breq.Items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.runBatchItem(r, reqID, i, &breq.Items[i])
+		}(i)
+	}
+	wg.Wait()
+	out := BatchResponse{Items: results}
+	for i := range results {
+		if results[i].Status == http.StatusOK {
+			out.Succeeded++
+		} else {
+			out.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runBatchItem resolves and schedules one batch item, mapping its
+// outcome to the status a single request would have received. Items
+// run on their own goroutines outside the instrument middleware, so
+// panics are contained here — one poisoned item answers a per-item 500
+// while its siblings complete.
+func (s *Server) runBatchItem(r *http.Request, reqID string, i int, item *ScheduleRequest) (res BatchItemResult) {
+	res.Index = i
+	itemID := fmt.Sprintf("%s#%d", reqID, i)
+	defer func() {
+		if p := recover(); p != nil {
+			s.met.ObservePanic()
+			log.Printf("service: panic in batch item %s: %v\n%s", itemID, p, debug.Stack())
+			res = BatchItemResult{Index: i, Status: http.StatusInternalServerError,
+				Error: fmt.Sprintf("internal error (request %s)", itemID)}
+		}
+	}()
+	a, in, err := s.resolveRequest(item)
+	if err != nil {
+		res.Status, res.Error = http.StatusBadRequest, err.Error()
+		return res
+	}
+	key, err := cacheKey(in, item.Algorithm, item.Analyze, item.LinkBandwidth, item.Faults)
+	if err != nil {
+		res.Status, res.Error = http.StatusInternalServerError, err.Error()
+		return res
+	}
+	timeout := s.timeoutFor(item.TimeoutMs)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	resp, err := s.scheduleLocal(ctx, itemID, parsedItem{
+		alg: a, in: in, analyze: item.Analyze, faults: item.Faults, key: key,
+	}, true, true)
+	if err != nil {
+		res.Status, res.Error = s.statusFor(err, timeout)
+		return res
+	}
+	res.Status, res.Response = http.StatusOK, resp
+	return res
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net/http"
@@ -14,26 +15,27 @@ import (
 )
 
 // ErrCircuitOpen is returned (wrapped) by Client.Schedule when the
-// per-algorithm circuit breaker is open: recent requests for that
-// algorithm kept failing, so the client fails fast instead of hammering
-// a struggling server. errors.Is recognises it.
+// relevant circuit breaker is open: recent requests for that algorithm
+// (single-node mode) or that peer (multi-node mode) kept failing, so
+// the client fails fast instead of hammering a struggling server.
+// errors.Is recognises it.
 var ErrCircuitOpen = errors.New("service: circuit open")
 
 // RetryPolicy configures the client's transient-failure handling. The
 // zero value of each field selects its default.
 type RetryPolicy struct {
 	// MaxAttempts bounds tries per call, first attempt included
-	// (default 3). 1 disables retrying.
+	// (default 3). 1 disables retrying. In multi-node mode it bounds
+	// attempts per peer; ring failover across peers is separate.
 	MaxAttempts int
 	// BaseBackoff is the first retry delay; each further retry doubles
 	// it up to MaxBackoff, and every delay is jittered to [50%,100%] of
 	// its nominal value (defaults 50ms / 2s).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
-	// BreakerThreshold opens an algorithm's circuit after that many
-	// consecutive server-side failures (default 5); BreakerCooldown is
-	// how long it stays open before one trial request may probe the
-	// server again (default 5s).
+	// BreakerThreshold opens a circuit after that many consecutive
+	// server-side failures (default 5); BreakerCooldown is how long it
+	// stays open before one trial request may probe again (default 5s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 }
@@ -74,26 +76,37 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("service: %s %s: HTTP %d", e.Method, e.Path, e.Status)
 }
 
-// breaker is one algorithm's circuit state (guarded by Client.mu).
-type breaker struct {
-	failures  int
-	openUntil time.Time
-}
-
-// Client is a minimal schedd API client with jittered-backoff retries
-// on transient failures (503, transport errors) and a per-algorithm
-// circuit breaker on Schedule.
+// Client is a schedd API client with jittered-backoff retries on
+// transient failures (503, transport errors) and circuit breakers.
+//
+// With only BaseURL set it talks to one server, with a per-algorithm
+// breaker (one misbehaving algorithm cannot starve the others). With
+// Peers set it becomes a load-balancing multi-node client over a schedd
+// ring: Schedule hashes the request onto the same consistent-hash
+// circle the servers use and dispatches to the owning peer first — so
+// repeated identical requests land where the result is cached — failing
+// over along the ring when a peer is down, with a per-peer circuit
+// breaker keeping dead peers out of the path. ScheduleBatch
+// round-robins whole batches across healthy peers.
 type Client struct {
-	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080". Used
+	// when Peers is empty.
 	BaseURL string
+	// Peers lists the base URLs of every node of a schedd ring. When
+	// set (two or more), requests are ring-dispatched with failover and
+	// BaseURL is ignored.
+	Peers []string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
-	// Retry tunes retries and the circuit breaker; nil uses defaults.
+	// Retry tunes retries and the circuit breakers; nil uses defaults.
 	Retry *RetryPolicy
 
 	mu       sync.Mutex
 	rng      *rand.Rand
-	breakers map[string]*breaker
+	ring     *hashRing // built lazily from Peers
+	algBr    breakerSet
+	peerBr   breakerSet
+	batchSeq uint64 // round-robin cursor for ScheduleBatch
 }
 
 func (c *Client) http() *http.Client {
@@ -108,6 +121,17 @@ func (c *Client) policy() RetryPolicy {
 		return c.Retry.withDefaults()
 	}
 	return RetryPolicy{}.withDefaults()
+}
+
+// peerRing lazily builds the client-side ring over Peers. Peers must
+// not change after the first Schedule/ScheduleBatch call.
+func (c *Client) peerRing() *hashRing {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring == nil {
+		c.ring = newRing(c.Peers)
+	}
+	return c.ring
 }
 
 // jitter maps a nominal backoff to a uniform draw in [d/2, d].
@@ -136,13 +160,13 @@ func retryable(ctx context.Context, err error) bool {
 	return true
 }
 
-// attempt performs one HTTP round trip.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) error {
+// attempt performs one HTTP round trip against base.
+func (c *Client) attempt(ctx context.Context, base, method, path string, body []byte, out any) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -168,19 +192,13 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
-	var data []byte
-	if body != nil {
-		var err error
-		if data, err = json.Marshal(body); err != nil {
-			return fmt.Errorf("service: encoding request: %w", err)
-		}
-	}
+// doJSONAt runs the retry loop against one base URL.
+func (c *Client) doJSONAt(ctx context.Context, base, method, path string, data []byte, out any) error {
 	pol := c.policy()
 	backoff := pol.BaseBackoff
 	var err error
 	for att := 1; ; att++ {
-		err = c.attempt(ctx, method, path, data, out)
+		err = c.attempt(ctx, base, method, path, data, out)
 		if err == nil || att >= pol.MaxAttempts || !retryable(ctx, err) {
 			return err
 		}
@@ -197,67 +215,152 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out any)
 	}
 }
 
-// breakerAllow checks the algorithm's circuit; an open circuit past its
-// cooldown admits one half-open trial request.
-func (c *Client) breakerAllow(alg string, pol RetryPolicy) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	b := c.breakers[alg]
-	if b == nil || b.failures < pol.BreakerThreshold {
-		return nil
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var data []byte
+	if body != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("service: encoding request: %w", err)
+		}
 	}
-	if time.Now().Before(b.openUntil) {
-		return fmt.Errorf("%w for algorithm %q (retry after %s)", ErrCircuitOpen, alg, time.Until(b.openUntil).Round(time.Millisecond))
-	}
-	return nil // half-open: let one probe through
+	return c.doJSONAt(ctx, c.anyBase(), method, path, data, out)
 }
 
-// breakerObserve feeds a Schedule outcome into the algorithm's circuit.
-// Server-side failures (5xx, transport) count against the breaker; a
-// success or a client-side rejection (4xx — the server is healthy)
-// closes it.
-func (c *Client) breakerObserve(alg string, pol RetryPolicy, err error) {
-	serverFault := err != nil
-	var se *StatusError
-	if errors.As(err, &se) && se.Status < 500 {
-		serverFault = false
+// anyBase returns BaseURL, or the first peer when only Peers is set —
+// good enough for the read-only endpoints (health, metrics, listings).
+func (c *Client) anyBase() string {
+	if c.BaseURL != "" || len(c.Peers) == 0 {
+		return c.BaseURL
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.breakers == nil {
-		c.breakers = make(map[string]*breaker)
+	return c.Peers[0]
+}
+
+// requestKey digests the scheduling-relevant fields of a request for
+// client-side ring placement. It is a cheap byte-level digest, not the
+// server's canonical instance hash (which needs a full parse): two
+// byte-identical requests always land on the same peer — which is what
+// keeps that peer's cache hot — and a semantically-equal-but-reformatted
+// request at worst lands elsewhere and is forwarded by the server.
+func requestKey(req *ScheduleRequest) string {
+	h := fnv.New64a()
+	io.WriteString(h, req.Algorithm)
+	h.Write([]byte{0})
+	h.Write(req.Instance)
+	h.Write([]byte{0})
+	h.Write(req.Graph)
+	fmt.Fprintf(h, "|%d|%g|%g|%s|%g|%v", req.Processors, req.Latency, req.TimePerUnit,
+		req.CommModel, req.LinkBandwidth, req.Analyze)
+	if req.Faults != nil {
+		if fw, err := json.Marshal(req.Faults); err == nil {
+			h.Write(fw)
+		}
 	}
-	b := c.breakers[alg]
-	if b == nil {
-		b = &breaker{}
-		c.breakers[alg] = b
-	}
-	if !serverFault {
-		b.failures = 0
-		return
-	}
-	b.failures++
-	if b.failures >= pol.BreakerThreshold {
-		b.openUntil = time.Now().Add(pol.BreakerCooldown)
-	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Schedule submits one scheduling request. Transient failures are
-// retried per the client's RetryPolicy; an algorithm whose requests
-// keep failing server-side trips a circuit breaker and fails fast with
-// ErrCircuitOpen until the cooldown elapses.
+// retried per the client's RetryPolicy. Single-node mode keeps PR 5's
+// per-algorithm circuit breaker; multi-node mode dispatches to the
+// ring owner of the request and fails over along the ring, skipping
+// peers whose circuit is open. When every peer is down the last error
+// (or ErrCircuitOpen, if every circuit was open) is returned.
 func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleResponse, error) {
 	pol := c.policy()
-	if err := c.breakerAllow(req.Algorithm, pol); err != nil {
-		return nil, err
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding request: %w", err)
+	}
+	if len(c.Peers) >= 2 {
+		return c.scheduleRing(ctx, pol, &req, data)
+	}
+	if wait, open := c.algBr.allow(req.Algorithm, pol.BreakerThreshold); open {
+		return nil, fmt.Errorf("%w for algorithm %q (retry after %s)", ErrCircuitOpen, req.Algorithm, wait.Round(time.Millisecond))
 	}
 	var out ScheduleResponse
-	err := c.doJSON(ctx, http.MethodPost, "/v1/schedule", req, &out)
-	c.breakerObserve(req.Algorithm, pol, err)
+	err = c.doJSONAt(ctx, c.anyBase(), http.MethodPost, "/v1/schedule", data, &out)
+	c.algBr.observe(req.Algorithm, pol.BreakerThreshold, pol.BreakerCooldown, err)
 	if err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// scheduleRing dispatches one request across the peer ring: owner
+// first, then the ring successors. Each peer gets a single attempt —
+// failover to the next node is the retry — and feeds its per-peer
+// circuit breaker.
+func (c *Client) scheduleRing(ctx context.Context, pol RetryPolicy, req *ScheduleRequest, data []byte) (*ScheduleResponse, error) {
+	order := c.peerRing().successors(requestKey(req))
+	var lastErr error
+	for _, peer := range order {
+		if wait, open := c.peerBr.allow(peer, pol.BreakerThreshold); open {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w for peer %s (retry after %s)", ErrCircuitOpen, peer, wait.Round(time.Millisecond))
+			}
+			continue
+		}
+		var out ScheduleResponse
+		err := c.attempt(ctx, peer, http.MethodPost, "/v1/schedule", data, &out)
+		c.peerBr.observe(peer, pol.BreakerThreshold, pol.BreakerCooldown, err)
+		if err == nil {
+			return &out, nil
+		}
+		if !retryable(ctx, err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = errors.New("service: no peers configured")
+	}
+	return nil, fmt.Errorf("service: all %d peers failed: %w", len(order), lastErr)
+}
+
+// ScheduleBatch submits a batch of scheduling requests to
+// /v1/schedule/batch and returns the ordered per-item results. In
+// multi-node mode batches are round-robined across peers (a batch is
+// fanned out by whichever node receives it, consulting the owning
+// peers' caches per item), skipping peers with an open circuit and
+// failing over on transient errors.
+func (c *Client) ScheduleBatch(ctx context.Context, req BatchRequest) (*BatchResponse, error) {
+	pol := c.policy()
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding batch: %w", err)
+	}
+	if len(c.Peers) < 2 {
+		var out BatchResponse
+		if err := c.doJSONAt(ctx, c.anyBase(), http.MethodPost, "/v1/schedule/batch", data, &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+	peers := c.peerRing().peers
+	c.mu.Lock()
+	start := int(c.batchSeq % uint64(len(peers)))
+	c.batchSeq++
+	c.mu.Unlock()
+	var lastErr error
+	for i := 0; i < len(peers); i++ {
+		peer := peers[(start+i)%len(peers)]
+		if _, open := c.peerBr.allow(peer, pol.BreakerThreshold); open {
+			continue
+		}
+		var out BatchResponse
+		err := c.attempt(ctx, peer, http.MethodPost, "/v1/schedule/batch", data, &out)
+		c.peerBr.observe(peer, pol.BreakerThreshold, pol.BreakerCooldown, err)
+		if err == nil {
+			return &out, nil
+		}
+		if !retryable(ctx, err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w for every peer", ErrCircuitOpen)
+	}
+	return nil, fmt.Errorf("service: batch failed on all peers: %w", lastErr)
 }
 
 // Health probes /healthz.

@@ -1,0 +1,128 @@
+package service_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dagsched/internal/algo"
+	"dagsched/internal/service"
+	"dagsched/internal/testfix"
+)
+
+// TestCoalesceIdenticalRequests is the singleflight regression test: a
+// burst of identical concurrent requests must compute the schedule
+// exactly once — one leader runs the algorithm, the rest park on its
+// flight — and the dedup must be visible as requests.coalesced in
+// /metrics. Before coalescing, each request enqueued its own job and an
+// N-request burst cost N runs.
+func TestCoalesceIdenticalRequests(t *testing.T) {
+	slow := &slowAlg{name: "slow", delay: 250 * time.Millisecond}
+	_, c := startServer(t, service.Options{
+		Workers:    4,
+		QueueDepth: 64,
+		Resolver:   func(string) (algo.Algorithm, error) { return slow, nil },
+	})
+
+	inst := instanceJSON(t, testfix.Topcuoglu())
+	const burst = 8
+	resps := make([]*service.ScheduleResponse, burst)
+	errs := make([]error, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.Schedule(context.Background(), service.ScheduleRequest{
+				Algorithm: "slow", Instance: inst,
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if n := slow.starts.Load(); n != 1 {
+		t.Errorf("algorithm ran %d times for %d identical concurrent requests, want exactly 1", n, burst)
+	}
+	var coalescedResps int
+	for i, r := range resps {
+		if r.Coalesced {
+			coalescedResps++
+		}
+		if r.Makespan != resps[0].Makespan {
+			t.Errorf("request %d makespan %v != leader's %v", i, r.Makespan, resps[0].Makespan)
+		}
+	}
+	if coalescedResps == 0 {
+		t.Errorf("no response carries coalesced=true out of %d followers", burst-1)
+	}
+
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if snap.Requests.Coalesced < 1 {
+		t.Errorf("requests.coalesced = %d, want >= 1", snap.Requests.Coalesced)
+	}
+	if snap.Requests.Coalesced != int64(coalescedResps) {
+		t.Errorf("requests.coalesced = %d, but %d responses carry coalesced=true", snap.Requests.Coalesced, coalescedResps)
+	}
+
+	// A later identical request is a plain cache hit, not a coalesce.
+	r, err := c.Schedule(context.Background(), service.ScheduleRequest{Algorithm: "slow", Instance: inst})
+	if err != nil {
+		t.Fatalf("cached round: %v", err)
+	}
+	if !r.Cached || r.Coalesced {
+		t.Errorf("post-burst request: cached=%v coalesced=%v, want cached=true coalesced=false", r.Cached, r.Coalesced)
+	}
+	if n := slow.starts.Load(); n != 1 {
+		t.Errorf("cached round re-ran the algorithm (starts=%d)", n)
+	}
+}
+
+// TestCoalesceLeaderDeadlineDoesNotPoisonFollowers pins the follower
+// re-loop: when the leader dies of its *own* deadline, a follower whose
+// context is still live must not inherit that error — it re-enters the
+// flight group and gets a result.
+func TestCoalesceLeaderDeadlineDoesNotPoisonFollowers(t *testing.T) {
+	slow := &slowAlg{name: "slow", delay: 200 * time.Millisecond}
+	_, c := startServer(t, service.Options{
+		Workers:    2,
+		QueueDepth: 16,
+		Resolver:   func(string) (algo.Algorithm, error) { return slow, nil },
+	})
+
+	inst := instanceJSON(t, testfix.Topcuoglu())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	leaderErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		// The leader's 50ms deadline expires mid-run.
+		_, err := c.Schedule(context.Background(), service.ScheduleRequest{
+			Algorithm: "slow", Instance: inst, TimeoutMs: 50,
+		})
+		leaderErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the leader take the flight
+	resp, err := c.Schedule(context.Background(), service.ScheduleRequest{
+		Algorithm: "slow", Instance: inst,
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("patient follower failed: %v", err)
+	}
+	if resp.Makespan <= 0 {
+		t.Errorf("follower got empty schedule (makespan %v)", resp.Makespan)
+	}
+	if lerr := <-leaderErr; lerr == nil || !strings.Contains(lerr.Error(), "HTTP 504") {
+		t.Errorf("leader: want HTTP 504 deadline error, got %v", lerr)
+	}
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		keys[i] = fmt.Sprintf("%x", sum)
+	}
+	return keys
+}
+
+// TestRingDeterministic pins the two properties routing correctness
+// rests on: every node computes the same owner for a key regardless of
+// peer-list order, and ownership is stable across rebuilds.
+func TestRingDeterministic(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := newRing(peers)
+	r2 := newRing([]string{peers[2], peers[0], peers[1], peers[0]}) // shuffled + dup
+	if r1.size() != 3 || r2.size() != 3 {
+		t.Fatalf("sizes = %d, %d, want 3 (dedup)", r1.size(), r2.size())
+	}
+	for _, k := range ringKeys(500) {
+		if o1, o2 := r1.owner(k), r2.owner(k); o1 != o2 {
+			t.Fatalf("owner(%s) differs across peer orderings: %q vs %q", k[:8], o1, o2)
+		}
+	}
+}
+
+// TestRingBalance checks that 64 virtual nodes spread keys reasonably:
+// no peer of a 4-node ring owns more than twice its fair share.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := newRing(peers)
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.owner(k)]++
+	}
+	fair := len(keys) / len(peers)
+	for _, p := range peers {
+		if counts[p] == 0 {
+			t.Errorf("peer %s owns no keys", p)
+		}
+		if counts[p] > 2*fair {
+			t.Errorf("peer %s owns %d of %d keys (> 2x fair share %d)", p, counts[p], len(keys), fair)
+		}
+	}
+}
+
+// TestRingChurn verifies the consistency property that justifies the
+// ring: when one node joins or leaves, a key changes owner only if the
+// changed node is involved, and the moved fraction stays near 1/N.
+func TestRingChurn(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1"}
+	keys := ringKeys(5000)
+
+	t.Run("leave", func(t *testing.T) {
+		before := newRing(peers)
+		after := newRing(peers[:len(peers)-1]) // e leaves
+		gone := peers[len(peers)-1]
+		moved := 0
+		for _, k := range keys {
+			ob, oa := before.owner(k), after.owner(k)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if ob != gone {
+				t.Fatalf("key %s moved %q -> %q though only %q left the ring", k[:8], ob, oa, gone)
+			}
+		}
+		if max := 2 * len(keys) / len(peers); moved > max {
+			t.Errorf("%d of %d keys moved on one departure (> 2/N bound %d)", moved, len(keys), max)
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		before := newRing(peers)
+		joined := "http://f:1"
+		after := newRing(append(append([]string{}, peers...), joined))
+		moved := 0
+		for _, k := range keys {
+			ob, oa := before.owner(k), after.owner(k)
+			if ob == oa {
+				continue
+			}
+			moved++
+			if oa != joined {
+				t.Fatalf("key %s moved %q -> %q though only %q joined the ring", k[:8], ob, oa, joined)
+			}
+		}
+		if max := 2 * len(keys) / (len(peers) + 1); moved > max {
+			t.Errorf("%d of %d keys moved on one join (> 2/N bound %d)", moved, len(keys), max)
+		}
+	})
+}
+
+// TestRingSuccessors checks failover ordering: successors starts at the
+// owner and yields every distinct peer exactly once.
+func TestRingSuccessors(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(peers)
+	for _, k := range ringKeys(50) {
+		succ := r.successors(k)
+		if len(succ) != len(peers) {
+			t.Fatalf("successors(%s) = %v, want all %d peers", k[:8], succ, len(peers))
+		}
+		if succ[0] != r.owner(k) {
+			t.Fatalf("successors(%s)[0] = %q, want owner %q", k[:8], succ[0], r.owner(k))
+		}
+		seen := map[string]bool{}
+		for _, p := range succ {
+			if seen[p] {
+				t.Fatalf("successors(%s) repeats %q: %v", k[:8], p, succ)
+			}
+			seen[p] = true
+		}
+	}
+}

@@ -60,6 +60,22 @@ type Options struct {
 	MaxTimeout     time.Duration
 	// MaxBodyBytes bounds the request body (default 32 MiB).
 	MaxBodyBytes int64
+	// MaxBatchItems bounds items per /v1/schedule/batch request
+	// (default 256).
+	MaxBatchItems int
+	// SelfURL is this node's advertised base URL on the peer ring,
+	// e.g. "http://10.0.0.1:8080"; required when Peers names two or
+	// more nodes, and must appear in Peers.
+	SelfURL string
+	// Peers lists the base URLs of every ring member, SelfURL
+	// included. Two or more distinct peers shard the canonical
+	// instance-hash space across the ring (requests are forwarded to
+	// their owner); fewer leave the node standalone. In-process tests
+	// can instead call Server.ConfigurePeers after Start, once
+	// ephemeral addresses are known.
+	Peers []string
+	// ProbeTimeout bounds one peer-cache probe (default 500ms).
+	ProbeTimeout time.Duration
 	// Resolver maps an algorithm name to an implementation (default
 	// suite.ByName — the full registry including the search lineup).
 	Resolver func(name string) (algo.Algorithm, error)
@@ -86,6 +102,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
+	}
+	if o.MaxBatchItems <= 0 {
+		o.MaxBatchItems = 256
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = 500 * time.Millisecond
 	}
 	if o.Resolver == nil {
 		o.Resolver = suite.ByName
@@ -115,16 +137,18 @@ type jobResult struct {
 // Server is a schedd instance. Create with New, run with Start (or the
 // Serve convenience wrapper), stop with Shutdown.
 type Server struct {
-	opts    Options
-	jobs    chan *job
+	opts     Options
+	jobs     chan *job
 	quit     chan struct{} // closed by Shutdown; workers exit on it
 	quitOnce sync.Once
 	workers  sync.WaitGroup
-	httpSrv *http.Server
-	ln      net.Listener
-	cache   *lruCache
-	met     *serverMetrics
-	reqSeq  atomic.Uint64
+	httpSrv  *http.Server
+	ln       net.Listener
+	cache    *lruCache
+	flights  *flightGroup
+	shard    shardPtr // nil load = sharding off
+	met      *serverMetrics
+	reqSeq   atomic.Uint64
 }
 
 // reqIDKey carries the request ID through the request context so worker
@@ -139,14 +163,17 @@ func (s *Server) nextReqID() string {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:  opts,
-		jobs:  make(chan *job, opts.QueueDepth),
-		quit:  make(chan struct{}),
-		cache: newLRUCache(opts.CacheSize),
-		met:   newServerMetrics(),
+		opts:    opts,
+		jobs:    make(chan *job, opts.QueueDepth),
+		quit:    make(chan struct{}),
+		cache:   newLRUCache(opts.CacheSize),
+		flights: newFlightGroup(),
+		met:     newServerMetrics(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	mux.HandleFunc("/v1/schedule/batch", s.handleBatch)
+	mux.HandleFunc("/v1/cache/", s.handleCache)
 	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -157,6 +184,9 @@ func New(opts Options) *Server {
 // Start listens on opts.Addr, launches the worker pool and serves in the
 // background. It returns the bound address (useful with port 0).
 func (s *Server) Start() (string, error) {
+	if err := s.ConfigurePeers(s.opts.SelfURL, s.opts.Peers); err != nil {
+		return "", err
+	}
 	ln, err := net.Listen("tcp", s.opts.Addr)
 	if err != nil {
 		return "", fmt.Errorf("service: listen %s: %w", s.opts.Addr, err)
@@ -439,7 +469,12 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.cache.Stats()
-	snap := s.met.Snapshot(len(s.jobs), cap(s.jobs), s.opts.Workers, hits, misses, size, s.opts.CacheSize)
+	var self string
+	var peers []string
+	if sh := s.shard.Load(); sh != nil {
+		self, peers = sh.self, sh.peers
+	}
+	snap := s.met.Snapshot(len(s.jobs), cap(s.jobs), s.opts.Workers, hits, misses, size, s.opts.CacheSize, self, peers)
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -450,26 +485,36 @@ func (s *Server) parseRequest(body io.Reader) (*ScheduleRequest, algo.Algorithm,
 	if err := dec.Decode(&req); err != nil {
 		return nil, nil, nil, fmt.Errorf("decoding request: %w", err)
 	}
+	a, in, err := s.resolveRequest(&req)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &req, a, in, nil
+}
+
+// resolveRequest validates one decoded request — shared by the single
+// and batch endpoints.
+func (s *Server) resolveRequest(req *ScheduleRequest) (algo.Algorithm, *sched.Instance, error) {
 	if req.Algorithm == "" {
-		return nil, nil, nil, fmt.Errorf("missing algorithm name")
+		return nil, nil, fmt.Errorf("missing algorithm name")
 	}
 	a, err := s.opts.Resolver(req.Algorithm)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	var in *sched.Instance
 	switch {
 	case len(req.Instance) > 0 && len(req.Graph) > 0:
-		return nil, nil, nil, fmt.Errorf("request carries both instance and graph; send one")
+		return nil, nil, fmt.Errorf("request carries both instance and graph; send one")
 	case len(req.Instance) > 0:
 		in, err = sched.ReadInstanceJSON(bytes.NewReader(req.Instance))
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 	case len(req.Graph) > 0:
 		g, err := dag.ReadJSON(bytes.NewReader(req.Graph))
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		procs := req.Processors
 		if procs <= 0 {
@@ -480,7 +525,7 @@ func (s *Server) parseRequest(body io.Reader) (*ScheduleRequest, algo.Algorithm,
 			tpu = 1
 		}
 		if req.Latency < 0 || tpu < 0 {
-			return nil, nil, nil, fmt.Errorf("negative link parameters")
+			return nil, nil, fmt.Errorf("negative link parameters")
 		}
 		speeds := make([]float64, procs)
 		for i := range speeds {
@@ -490,20 +535,20 @@ func (s *Server) parseRequest(body io.Reader) (*ScheduleRequest, algo.Algorithm,
 		// parameters from the wire come back as a 400, not a crash.
 		sys, err := platform.New(platform.Config{Speeds: speeds, Latency: req.Latency, TimePerUnit: tpu})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		in = sched.Consistent(g, sys)
 	default:
-		return nil, nil, nil, fmt.Errorf("request carries neither instance nor graph")
+		return nil, nil, fmt.Errorf("request carries neither instance nor graph")
 	}
-	in, err = bindCommModel(in, &req)
+	in, err = bindCommModel(in, req)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	if err := validateFaults(req.Faults, in.P()); err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	return &req, a, in, nil
+	return a, in, nil
 }
 
 // maxFaultSamples caps a robustness sampling request: each sample is a
@@ -565,58 +610,184 @@ func bindCommModel(in *sched.Instance, req *ScheduleRequest) (*sched.Instance, e
 	return in.WithComm(m), nil
 }
 
+// errQueueFull marks a fail-fast enqueue rejection: the single-request
+// path answers it 503 instead of waiting for a worker.
+var errQueueFull = errors.New("service: queue full")
+
+// parsedItem is one validated scheduling query ready for the tiered
+// cache and the worker pool.
+type parsedItem struct {
+	alg     algo.Algorithm
+	in      *sched.Instance
+	analyze bool
+	faults  *FaultsRequest
+	key     string
+}
+
+// timeoutFor resolves a request's timeoutMs against the server bounds.
+func (s *Server) timeoutFor(ms int64) time.Duration {
+	timeout := s.opts.DefaultTimeout
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > s.opts.MaxTimeout {
+			timeout = s.opts.MaxTimeout
+		}
+	}
+	return timeout
+}
+
+// statusFor maps a scheduleLocal error to the HTTP status and message a
+// single request would answer.
+func (s *Server) statusFor(err error, timeout time.Duration) (int, string) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return http.StatusServiceUnavailable, fmt.Sprintf("queue full (%d deep)", cap(s.jobs))
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded after %s: %v", timeout, err)
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, fmt.Sprintf("request canceled: %v", err)
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+// scheduleLocal serves one parsed scheduling query on this node through
+// the tiered cache: the local LRU first; then — when probePeer is set
+// and another peer owns the key — that peer's cache via the cheap
+// /v1/cache probe (a hit is copied into the local LRU); then the worker
+// pool. Concurrent identical computations coalesce on a singleflight
+// group: one request leads and runs the algorithm, the rest park on its
+// result, so a burst of identical requests costs exactly one schedule.
+// block selects blocking enqueue (batch items backpressure on the
+// queue) versus the single-request fail-fast 503.
+func (s *Server) scheduleLocal(ctx context.Context, reqID string, it parsedItem, probePeer, block bool) (*ScheduleResponse, error) {
+	probe := probePeer
+	for {
+		if resp := s.cache.Get(it.key); resp != nil {
+			s.met.ObserveTier(tierLocal)
+			return resp, nil
+		}
+		if probe {
+			probe = false
+			if sh := s.shard.Load(); sh != nil {
+				if owner := sh.ring.owner(it.key); owner != sh.self {
+					if resp := s.probePeerCache(ctx, sh, owner, it.key); resp != nil {
+						s.met.ObserveTier(tierPeer)
+						s.cache.Put(it.key, resp)
+						cp := *resp
+						cp.Cached = true
+						return &cp, nil
+					}
+				}
+			}
+		}
+		leader, f := s.flights.join(it.key)
+		if !leader {
+			s.met.ObserveCoalesced()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					cp := *f.resp
+					cp.Coalesced = true
+					return &cp, nil
+				}
+				if (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+					continue // the leader died of its own deadline, not ours
+				}
+				return nil, f.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		s.met.ObserveTier(tierMiss)
+		j := &job{ctx: ctx, alg: it.alg, in: it.in, analyze: it.analyze, faults: it.faults, key: it.key, reqID: reqID, done: make(chan jobResult, 1)}
+		if block {
+			select {
+			case s.jobs <- j:
+			case <-ctx.Done():
+				s.flights.finish(it.key, f, nil, ctx.Err())
+				return nil, ctx.Err()
+			}
+		} else {
+			select {
+			case s.jobs <- j:
+			default:
+				s.flights.finish(it.key, f, nil, errQueueFull)
+				return nil, errQueueFull
+			}
+		}
+		select {
+		case res := <-j.done:
+			s.flights.finish(it.key, f, res.resp, res.err)
+			return res.resp, res.err
+		case <-ctx.Done():
+			// The worker owns the job now; publish its eventual result so
+			// coalesced followers unblock, but answer our own deadline
+			// promptly.
+			go func() {
+				res := <-j.done
+				s.flights.finish(it.key, f, res.resp, res.err)
+			}()
+			return nil, ctx.Err()
+		}
+	}
+}
+
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	req, a, in, err := s.parseRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request: %v", err)
+		return
+	}
+	req, a, in, err := s.parseRequest(bytes.NewReader(body))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key, err := cacheKey(in, a.Name(), req.Analyze, req.LinkBandwidth, req.Faults)
+	// Keyed on the requested name, not a.Name(): a custom Resolver may
+	// map distinct request names onto one implementation, and those are
+	// distinct queries for caching and coalescing purposes. The default
+	// resolver matches names exactly, so the two are identical for it.
+	key, err := cacheKey(in, req.Algorithm, req.Analyze, req.LinkBandwidth, req.Faults)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	if resp := s.cache.Get(key); resp != nil {
-		writeJSON(w, http.StatusOK, resp)
-		return
-	}
-	timeout := s.opts.DefaultTimeout
-	if req.TimeoutMs > 0 {
-		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
-		if timeout > s.opts.MaxTimeout {
-			timeout = s.opts.MaxTimeout
-		}
-	}
+	timeout := s.timeoutFor(req.TimeoutMs)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	if sh := s.shard.Load(); sh != nil {
+		owner := sh.ring.owner(key)
+		w.Header().Set(hdrShardOwner, owner)
+		if owner != sh.self && r.Header.Get(hdrForwarded) == "" {
+			// Not ours: serve a local copy if we happen to hold one,
+			// otherwise forward to the owner (whose cache is the
+			// authoritative tier for this key). A failed forward falls
+			// through to computing here — availability over placement.
+			if resp := s.cache.Get(key); resp != nil {
+				s.met.ObserveTier(tierLocal)
+				w.Header().Set(hdrServedBy, sh.self)
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+			if s.tryForward(ctx, w, sh, owner, body) {
+				return
+			}
+		}
+		w.Header().Set(hdrServedBy, sh.self)
+	}
 	reqID, _ := r.Context().Value(reqIDKey{}).(string)
-	j := &job{ctx: ctx, alg: a, in: in, analyze: req.Analyze, faults: req.Faults, key: key, reqID: reqID, done: make(chan jobResult, 1)}
-	select {
-	case s.jobs <- j:
-	default:
-		writeError(w, http.StatusServiceUnavailable, "queue full (%d deep)", cap(s.jobs))
+	resp, err := s.scheduleLocal(ctx, reqID, parsedItem{
+		alg: a, in: in, analyze: req.Analyze, faults: req.Faults, key: key,
+	}, false, false)
+	if err != nil {
+		status, msg := s.statusFor(err, timeout)
+		writeError(w, status, "%s", msg)
 		return
 	}
-	select {
-	case res := <-j.done:
-		if res.err != nil {
-			if errors.Is(res.err, context.DeadlineExceeded) {
-				writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %s: %v", timeout, res.err)
-			} else if errors.Is(res.err, context.Canceled) {
-				writeError(w, http.StatusServiceUnavailable, "request canceled: %v", res.err)
-			} else {
-				writeError(w, http.StatusInternalServerError, "%v", res.err)
-			}
-			return
-		}
-		writeJSON(w, http.StatusOK, res.resp)
-	case <-ctx.Done():
-		// Deadline hit while queued or mid-run; the worker observes the
-		// same context and abandons the job promptly.
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded after %s", timeout)
-	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -194,6 +194,21 @@ func TestEndToEndConcurrentMixed(t *testing.T) {
 	if hs.Makespan.Min == nil || hs.Makespan.Max == nil {
 		t.Errorf("HEFT makespan min/max should be set after %d runs", hs.Count)
 	}
+	// The cache-tier breakdown must account for every scheduling item:
+	// first round misses, repeat round hits the local tier; this
+	// unsharded node never touches the peer tier.
+	if m.Cache.Tier.Local == 0 || m.Cache.Tier.Miss == 0 {
+		t.Errorf("cache tier breakdown = %+v; want local and miss > 0 after a cached repeat round", m.Cache.Tier)
+	}
+	if m.Cache.Tier.Peer != 0 {
+		t.Errorf("cache.tier.peer = %d on a single node, want 0", m.Cache.Tier.Peer)
+	}
+	if m.Shard.Enabled {
+		t.Errorf("shard.enabled on an unsharded server")
+	}
+	if m.Batch.SizeHistogram.Buckets == nil {
+		t.Errorf("batch size histogram absent from /metrics")
+	}
 }
 
 // TestDeadlineAbortsPromptly submits a request whose deadline expires

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Sharding headers. Every /v1/schedule response from a ring member
+// carries the owner of the request's canonical hash (X-Shard-Owner)
+// and the node that actually served it (X-Served-By). A node forwards
+// a request it does not own to the owner exactly once, marking the hop
+// with X-Schedd-Forwarded; a request already carrying that header is
+// never forwarded again, so inconsistent ring configurations degrade
+// to local computation instead of forwarding loops.
+const (
+	hdrShardOwner = "X-Shard-Owner"
+	hdrServedBy   = "X-Served-By"
+	hdrForwarded  = "X-Schedd-Forwarded"
+)
+
+// Forwarding circuit parameters: a peer that fails this many
+// consecutive forwards/probes is skipped for the cooldown, so a dead
+// node costs one connection timeout per cooldown instead of per
+// request.
+const (
+	forwardBreakerThreshold = 3
+	forwardBreakerCooldown  = 3 * time.Second
+)
+
+// shardState is the immutable ring view of one configuration epoch;
+// Server.shard swaps it atomically so request paths read a consistent
+// (self, ring) pair without locking.
+type shardState struct {
+	self  string
+	ring  *hashRing
+	peers []string
+	brk   *breakerSet
+	// client issues forwards (bounded by the request context) and
+	// probes (bounded by probeTimeout).
+	client       *http.Client
+	probeTimeout time.Duration
+}
+
+// shardPtr wraps the atomic pointer so a nil load means "sharding off".
+type shardPtr = atomic.Pointer[shardState]
+
+// ConfigurePeers places this node on a consistent-hash ring with
+// peers (base URLs, self included). Fewer than two distinct peers
+// disables sharding. Safe to call while serving: in-flight requests
+// finish under the configuration they started with.
+func (s *Server) ConfigurePeers(self string, peers []string) error {
+	ring := newRing(peers)
+	if ring.size() < 2 {
+		s.shard.Store(nil)
+		return nil
+	}
+	if self == "" {
+		return fmt.Errorf("service: peers configured but self URL empty")
+	}
+	found := false
+	for _, p := range ring.peers {
+		found = found || p == self
+	}
+	if !found {
+		return fmt.Errorf("service: self URL %q not in peer list %v", self, ring.peers)
+	}
+	s.shard.Store(&shardState{
+		self:         self,
+		ring:         ring,
+		peers:        ring.peers,
+		brk:          &breakerSet{},
+		client:       &http.Client{},
+		probeTimeout: s.opts.ProbeTimeout,
+	})
+	return nil
+}
+
+// tryForward relays a /v1/schedule request body to the owning peer and
+// streams its response back. Returns false — telling the caller to
+// compute locally — when the peer's circuit is open, the transport
+// fails, or the owner is itself overloaded (503): a sharded ring
+// prefers answering from the wrong node over failing from the right
+// one. Any other owner response (including 4xx/5xx verdicts about the
+// request itself) is authoritative and relayed as-is.
+func (s *Server) tryForward(ctx context.Context, w http.ResponseWriter, sh *shardState, owner string, body []byte) bool {
+	if _, open := sh.brk.allow(owner, forwardBreakerThreshold); open {
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/schedule", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(hdrForwarded, sh.self)
+	resp, err := sh.client.Do(req)
+	if err != nil {
+		sh.brk.observe(owner, forwardBreakerThreshold, forwardBreakerCooldown, err)
+		s.met.ObserveForward(owner, false)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		sh.brk.observe(owner, forwardBreakerThreshold, forwardBreakerCooldown,
+			&StatusError{Method: http.MethodPost, Path: "/v1/schedule", Status: resp.StatusCode})
+		s.met.ObserveForward(owner, false)
+		return false
+	}
+	sh.brk.observe(owner, forwardBreakerThreshold, forwardBreakerCooldown, nil)
+	s.met.ObserveForward(owner, true)
+	if v := resp.Header.Get(hdrServedBy); v != "" {
+		w.Header().Set(hdrServedBy, v)
+	}
+	if v := resp.Header.Get("Content-Type"); v != "" {
+		w.Header().Set("Content-Type", v)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// probePeerCache asks the owning peer whether it already has key's
+// result — a cheap GET against its cache, never a computation. Any
+// failure (circuit open, timeout, malformed body) degrades to a miss.
+func (s *Server) probePeerCache(ctx context.Context, sh *shardState, owner, key string) *ScheduleResponse {
+	if _, open := sh.brk.allow(owner, forwardBreakerThreshold); open {
+		return nil
+	}
+	pctx, cancel := context.WithTimeout(ctx, sh.probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, owner+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := sh.client.Do(req)
+	if err != nil {
+		sh.brk.observe(owner, forwardBreakerThreshold, forwardBreakerCooldown, err)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		var obs error // a 404 means healthy-but-cold, not broken
+		if resp.StatusCode != http.StatusNotFound {
+			obs = &StatusError{Method: http.MethodGet, Path: "/v1/cache/", Status: resp.StatusCode}
+		}
+		sh.brk.observe(owner, forwardBreakerThreshold, forwardBreakerCooldown, obs)
+		return nil
+	}
+	sh.brk.observe(owner, forwardBreakerThreshold, forwardBreakerCooldown, nil)
+	var out ScheduleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil
+	}
+	return &out
+}
+
+// handleCache serves GET /v1/cache/{hash}: the peer-cache probe. It
+// only ever reads this node's LRU — a probe can never trigger a
+// computation, which is what keeps the tiered lookup cheap.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, "malformed cache key")
+		return
+	}
+	if resp := s.cache.Get(key); resp != nil {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeError(w, http.StatusNotFound, "not cached")
+}
+
+// validCacheKey recognises the sha256-hex form cacheKey produces.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

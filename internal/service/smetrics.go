@@ -13,6 +13,20 @@ import (
 // latency, in milliseconds.
 var latencyBucketsMs = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
 
+// batchSizeBuckets are the cumulative histogram boundaries of batch
+// request sizes (items per batch).
+var batchSizeBuckets = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Cache tiers a scheduling item can be served from: this node's own
+// LRU, the owning peer's LRU (via the cache probe), or neither — a
+// miss that goes to the worker pool.
+const (
+	tierLocal = iota
+	tierPeer
+	tierMiss
+	numTiers
+)
+
 // serverMetrics aggregates the observability state of one Server. All
 // methods are safe for concurrent use.
 type serverMetrics struct {
@@ -24,6 +38,16 @@ type serverMetrics struct {
 	latCount  int64
 	latSumMs  float64
 	panics    int64
+	coalesced int64
+	// Cache tier outcomes, indexed by tierLocal/tierPeer/tierMiss.
+	tiers [numTiers]int64
+	// Batch endpoint: request count, total items, size histogram.
+	batchCount  int64
+	batchItems  int64
+	batchSizes  []int64 // per batchSizeBuckets bucket, non-cumulative
+	// Per-peer forwarding outcomes.
+	forwards     map[string]int64
+	forwardFails map[string]int64
 	// Per-algorithm makespan and scheduling-runtime accumulators over
 	// uncached successful runs.
 	algMakespan map[string]*metrics.Accumulator
@@ -33,12 +57,15 @@ type serverMetrics struct {
 
 func newServerMetrics() *serverMetrics {
 	return &serverMetrics{
-		start:       time.Now(),
-		byStatus:    make(map[int]int64),
-		latCounts:   make([]int64, len(latencyBucketsMs)+1),
-		algMakespan: make(map[string]*metrics.Accumulator),
-		algRuntime:  make(map[string]*metrics.Accumulator),
-		algCount:    make(map[string]int),
+		start:        time.Now(),
+		byStatus:     make(map[int]int64),
+		latCounts:    make([]int64, len(latencyBucketsMs)+1),
+		batchSizes:   make([]int64, len(batchSizeBuckets)+1),
+		forwards:     make(map[string]int64),
+		forwardFails: make(map[string]int64),
+		algMakespan:  make(map[string]*metrics.Accumulator),
+		algRuntime:   make(map[string]*metrics.Accumulator),
+		algCount:     make(map[string]int),
 	}
 }
 
@@ -60,6 +87,42 @@ func (m *serverMetrics) ObservePanic() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.panics++
+}
+
+// ObserveCoalesced records one request that joined an in-flight
+// identical computation instead of starting its own.
+func (m *serverMetrics) ObserveCoalesced() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.coalesced++
+}
+
+// ObserveTier records where one scheduling item was served from.
+func (m *serverMetrics) ObserveTier(tier int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tiers[tier]++
+}
+
+// ObserveBatch records one batch request of the given size.
+func (m *serverMetrics) ObserveBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchCount++
+	m.batchItems += int64(size)
+	i := sort.SearchInts(batchSizeBuckets, size)
+	m.batchSizes[i]++
+}
+
+// ObserveForward records one forwarding attempt to peer.
+func (m *serverMetrics) ObserveForward(peer string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.forwards[peer]++
+	} else {
+		m.forwardFails[peer]++
+	}
 }
 
 // ObserveRun records one successful uncached scheduling run.
@@ -89,15 +152,16 @@ func statsJSON(a *metrics.Accumulator) StatsJSON {
 	return s
 }
 
-// Snapshot renders the metrics; queue and cache figures are supplied by
-// the server, which owns those structures.
-func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, cacheMisses int64, cacheSize, cacheCap int) MetricsSnapshot {
+// Snapshot renders the metrics; queue, cache and shard figures are
+// supplied by the server, which owns those structures.
+func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, cacheMisses int64, cacheSize, cacheCap int, self string, peers []string) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var out MetricsSnapshot
 	out.UptimeSec = time.Since(m.start).Seconds()
 	out.Requests.Total = m.total
 	out.Requests.Panics = m.panics
+	out.Requests.Coalesced = m.coalesced
 	out.Requests.ByStatus = make(map[string]int64, len(m.byStatus))
 	for code, n := range m.byStatus {
 		out.Requests.ByStatus[statusLabel(code)] = n
@@ -119,6 +183,28 @@ func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, c
 	}
 	out.Cache.Size = cacheSize
 	out.Cache.Capacity = cacheCap
+	out.Cache.Tier.Local = m.tiers[tierLocal]
+	out.Cache.Tier.Peer = m.tiers[tierPeer]
+	out.Cache.Tier.Miss = m.tiers[tierMiss]
+	out.Batch.Count = m.batchCount
+	out.Batch.Items = m.batchItems
+	cum = 0
+	for i, le := range batchSizeBuckets {
+		cum += m.batchSizes[i]
+		out.Batch.SizeHistogram.Buckets = append(out.Batch.SizeHistogram.Buckets, SizeBucket{Le: le, Count: cum})
+	}
+	out.Batch.SizeHistogram.Count = m.batchCount
+	out.Shard.Self = self
+	out.Shard.Peers = peers
+	out.Shard.Enabled = len(peers) >= 2
+	out.Shard.Forwards = make(map[string]int64, len(m.forwards))
+	for p, n := range m.forwards {
+		out.Shard.Forwards[p] = n
+	}
+	out.Shard.ForwardFailures = make(map[string]int64, len(m.forwardFails))
+	for p, n := range m.forwardFails {
+		out.Shard.ForwardFailures[p] = n
+	}
 	out.Algorithms = make(map[string]AlgorithmStats, len(m.algCount))
 	for name, n := range m.algCount {
 		out.Algorithms[name] = AlgorithmStats{

@@ -59,11 +59,43 @@ type ScheduleResponse struct {
 	// RuntimeMs is the scheduling time of the run that produced this
 	// result; a cached response reports the original run's time.
 	RuntimeMs float64 `json:"runtimeMs"`
-	// Cached marks a response served from the result cache.
-	Cached      bool             `json:"cached"`
+	// Cached marks a response served from the result cache (this
+	// node's, or — on batch items — the owning peer's).
+	Cached bool `json:"cached"`
+	// Coalesced marks a response that joined a concurrent identical
+	// in-flight computation instead of running its own.
+	Coalesced   bool             `json:"coalesced,omitempty"`
 	Assignments []AssignmentJSON `json:"assignments"`
 	Analysis    *AnalysisJSON    `json:"analysis,omitempty"`
 	Robustness  *RobustnessJSON  `json:"robustness,omitempty"`
+}
+
+// BatchRequest is the wire form of POST /v1/schedule/batch: many
+// scheduling queries in one request. Items are scheduled concurrently
+// on the server's worker pool, each under its own deadline (its
+// TimeoutMs, or the server default), and the results come back in
+// request order with per-item status — one failing item never fails
+// the batch.
+type BatchRequest struct {
+	Items []ScheduleRequest `json:"items"`
+}
+
+// BatchResponse is the wire form of a batch result. Items is exactly
+// as long as the request's Items and in the same order.
+type BatchResponse struct {
+	Items     []BatchItemResult `json:"items"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+}
+
+// BatchItemResult is one item's outcome. Status carries the HTTP
+// status the item would have received as a single request (200, 400,
+// 500, 503, 504); exactly one of Response and Error is set.
+type BatchItemResult struct {
+	Index    int               `json:"index"`
+	Status   int               `json:"status"`
+	Response *ScheduleResponse `json:"response,omitempty"`
+	Error    string            `json:"error,omitempty"`
 }
 
 // FaultsRequest selects the robustness evaluation of a scheduling query.
@@ -158,6 +190,9 @@ type MetricsSnapshot struct {
 		ByStatus map[string]int64 `json:"byStatus"`
 		// Panics counts handler and worker panics converted to 500s.
 		Panics int64 `json:"panics"`
+		// Coalesced counts requests that joined a concurrent identical
+		// in-flight computation instead of starting their own.
+		Coalesced int64 `json:"coalesced"`
 	} `json:"requests"`
 	LatencyMs HistogramJSON `json:"latencyMs"`
 	Queue     struct {
@@ -171,10 +206,53 @@ type MetricsSnapshot struct {
 		HitRate  float64 `json:"hitRate"`
 		Size     int     `json:"size"`
 		Capacity int     `json:"capacity"`
+		// Tier breaks scheduling items down by where they were served
+		// from: this node's LRU, the owning peer's LRU (via the cache
+		// probe), or a miss that went to the worker pool.
+		Tier struct {
+			Local int64 `json:"local"`
+			Peer  int64 `json:"peer"`
+			Miss  int64 `json:"miss"`
+		} `json:"tier"`
 	} `json:"cache"`
+	// Batch summarizes POST /v1/schedule/batch traffic.
+	Batch struct {
+		// Count is the number of batch requests; Items the total items
+		// they carried.
+		Count int64 `json:"count"`
+		Items int64 `json:"items"`
+		// SizeHistogram is a cumulative histogram of items per batch.
+		SizeHistogram SizeHistogramJSON `json:"sizeHistogram"`
+	} `json:"batch"`
+	// Shard describes this node's position on the consistent-hash ring
+	// and its forwarding traffic (per-peer success/failure counts).
+	Shard struct {
+		Enabled bool     `json:"enabled"`
+		Self    string   `json:"self,omitempty"`
+		Peers   []string `json:"peers,omitempty"`
+		// Forwards counts requests forwarded to each owning peer;
+		// ForwardFailures counts forwards that failed (and fell back to
+		// computing locally).
+		Forwards        map[string]int64 `json:"forwards"`
+		ForwardFailures map[string]int64 `json:"forwardFailures"`
+	} `json:"shard"`
 	// Algorithms accumulates makespan and scheduling-runtime summary
 	// statistics per algorithm over every uncached successful request.
 	Algorithms map[string]AlgorithmStats `json:"algorithms"`
+}
+
+// SizeHistogramJSON is a cumulative histogram over integer sizes.
+type SizeHistogramJSON struct {
+	// Buckets[i].Count is the number of observations ≤ Buckets[i].Le;
+	// the implicit final bucket (+Inf) is Count.
+	Buckets []SizeBucket `json:"buckets"`
+	Count   int64        `json:"count"`
+}
+
+// SizeBucket is one cumulative size-bucket boundary.
+type SizeBucket struct {
+	Le    int   `json:"le"`
+	Count int64 `json:"count"`
 }
 
 // HistogramJSON is a cumulative latency histogram.
