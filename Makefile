@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent bench-smoke fuzz-smoke scale service-bench ci
+.PHONY: all build vet test race race-concurrent bench-smoke fuzz-smoke scale service-bench stream-bench ci
 
 all: build
 
@@ -39,11 +39,13 @@ race:
 # level-set rank kernels plus selection heap forced through every
 # algorithm), the fault replay/repair path (exercised concurrently
 # through the service and experiment tiers), the adversary's parallel
-# population evaluator, and the dag/timeline substrate the sharded
-# kernels read concurrently. `race` already covers them once; this tier
-# re-runs them with fresh state so interleavings differ between passes.
+# population evaluator, the streaming engine (invariant-13 equivalence
+# plus the NDJSON session endpoint's worker-slot lifecycle), and the
+# dag/timeline substrate the sharded kernels read concurrently. `race`
+# already covers them once; this tier re-runs them with fresh state so
+# interleavings differ between passes.
 race-concurrent:
-	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/sched ./internal/sched/timeline ./internal/dag ./internal/algo/suite ./internal/core ./internal/algo/contention ./internal/sim ./internal/algo/resched ./internal/adversary
+	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/stream ./internal/sched ./internal/sched/timeline ./internal/dag ./internal/algo/suite ./internal/core ./internal/algo/contention ./internal/sim ./internal/algo/resched ./internal/adversary
 
 # One iteration of the scheduler-throughput benchmark at every size,
 # plus the transaction-layer micro-benchmarks (trial begin/rollback,
@@ -56,6 +58,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkILSEndToEnd' -benchtime 1x ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkPopulationEval' -benchtime 1x ./internal/adversary
 	$(GO) test -run '^$$' -bench 'BenchmarkBatchEndpoint' -benchtime 1x ./internal/service
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamAppend' -benchtime 1x ./internal/stream
 
 # A few seconds of coverage-guided fuzzing per parser entry point.
 fuzz-smoke:
@@ -63,6 +66,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadDAX -fuzztime 5s ./internal/workload
 	$(GO) test -run '^$$' -fuzz FuzzReadGraphJSON -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz FuzzScheduleRequest -fuzztime 5s ./internal/service
+	$(GO) test -run '^$$' -fuzz FuzzStreamEvents -fuzztime 5s ./internal/service
 	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 5s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzSpec -fuzztime 5s ./internal/adversary
 
@@ -74,5 +78,11 @@ scale:
 # real HTTP against an in-process schedd.
 service-bench:
 	$(GO) run ./cmd/schedbench -service -out BENCH_service.json
+
+# Regenerate BENCH_stream.json: the streaming engine's incremental
+# re-planning against full recomputation over identical event logs,
+# guarded by static-oracle schedule-digest equivalence.
+stream-bench:
+	$(GO) run ./cmd/schedbench -stream -out BENCH_stream.json
 
 ci: vet race race-concurrent bench-smoke

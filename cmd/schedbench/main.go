@@ -9,6 +9,7 @@
 //	schedbench -scale           # scheduler-throughput sweep -> BENCH_sched.json
 //	schedbench -scale -out -    # same, JSON on stdout
 //	schedbench -service         # serving-tier batch benchmark -> BENCH_service.json
+//	schedbench -stream          # streaming-engine benchmark -> BENCH_stream.json
 package main
 
 import (
@@ -31,7 +32,8 @@ func main() {
 		workers = flag.Int("workers", 0, "repetition worker pool size (0 = GOMAXPROCS); never affects results")
 		scale   = flag.Bool("scale", false, "run the scheduler-throughput sweep instead of the experiment suite")
 		svc     = flag.Bool("service", false, "run the serving-tier batch benchmark instead of the experiment suite")
-		out     = flag.String("out", "", "output path for -scale/-service ('-' = stdout; default BENCH_sched.json / BENCH_service.json)")
+		strm    = flag.Bool("stream", false, "run the streaming-engine benchmark (incremental vs full re-plan) instead of the experiment suite")
+		out     = flag.String("out", "", "output path for -scale/-service/-stream ('-' = stdout; default BENCH_sched.json / BENCH_service.json / BENCH_stream.json)")
 		linkSp  = flag.Float64("link-spread", 0, "per-link transfer-rate spread in [0,2) for -scale instances (0 = uniform links)")
 		startSp = flag.Float64("startup-spread", 0, "per-link startup spread in [0,2) for -scale instances")
 		faults    = flag.String("faults", "", "comma-separated crash rates for the robustness experiment E21 (overrides its default sweep)")
@@ -39,8 +41,14 @@ func main() {
 	)
 	flag.Parse()
 
-	if *scale && *svc {
-		fatal(fmt.Errorf("-scale and -service are mutually exclusive"))
+	modes := 0
+	for _, on := range []bool{*scale, *svc, *strm} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fatal(fmt.Errorf("-scale, -service and -stream are mutually exclusive"))
 	}
 	if *scale {
 		path := *out
@@ -58,6 +66,16 @@ func main() {
 			path = "BENCH_service.json"
 		}
 		if err := runService(path, *reps, *seed, *quick); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *strm {
+		path := *out
+		if path == "" {
+			path = "BENCH_stream.json"
+		}
+		if err := runStream(path, *reps, *seed, *quick); err != nil {
 			fatal(err)
 		}
 		return

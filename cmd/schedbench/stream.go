@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"dagsched"
+	"dagsched/internal/dag"
+	"dagsched/internal/stream"
+	"dagsched/internal/testfix"
+)
+
+// streamReport is the machine-readable output of the -stream mode: the
+// incremental streaming engine measured against full re-planning on the
+// same event logs — events/sec, per-flush re-plan latency, and the
+// incremental speedup — with an equivalence guard that fails the run if
+// the sealed stream schedule diverges from static scheduling of the
+// final graph.
+type streamReport struct {
+	Suite     string            `json:"suite"`
+	GoVersion string            `json:"go_version"`
+	GoOSArch  string            `json:"goos_goarch"`
+	CPU       string            `json:"cpu"`
+	Config    streamBenchConfig `json:"config"`
+	Points    []streamPoint     `json:"points"`
+}
+
+type streamBenchConfig struct {
+	Procs     int    `json:"procs"`
+	Algorithm string `json:"algorithm"`
+	Reps      int    `json:"reps"`
+	Seed      int64  `json:"seed"`
+}
+
+// streamPoint is one (tasks, batch-size) design point. Speedup is the
+// full-recompute replay wall-clock over the incremental replay
+// wall-clock for the identical event log; DigestMatch records that both
+// sealed schedules are assignment-for-assignment identical to the
+// static oracle.
+type streamPoint struct {
+	N           int       `json:"n"`
+	Batch       int       `json:"batch"`
+	Events      int       `json:"events"`
+	Incremental streamLeg `json:"incremental"`
+	Full        streamLeg `json:"full_recompute"`
+	Speedup     float64   `json:"incremental_speedup"`
+	DigestMatch bool      `json:"digest_match"`
+	Makespan    float64   `json:"makespan"`
+}
+
+// streamLeg is one engine mode's measurements over the log: best-of-reps
+// replay wall-clock, event ingestion rate, and the latency distribution
+// of the individual re-plans (one sample per delta, pooled across reps).
+type streamLeg struct {
+	TotalMs      float64 `json:"total_ms"`
+	EventsPerS   float64 `json:"events_per_s"`
+	Replans      int     `json:"replans"`
+	ReplanMeanMs float64 `json:"replan_mean_ms"`
+	ReplanP99Ms  float64 `json:"replan_p99_ms"`
+	ReplanMaxMs  float64 `json:"replan_max_ms"`
+}
+
+// runStream benchmarks incremental re-planning against the
+// full-recompute baseline. Each design point replays one event log —
+// every task and edge of a random heterogeneous instance fed in
+// topological arrival order, auto-flushing every batch events — through
+// both engine modes, so the comparison is over identical inputs and
+// identical flush points. Small batches are the regime the streaming
+// engine exists for: many re-plans over a growing graph, where the
+// suffix/repair path must beat scheduling from scratch each time.
+func runStream(outPath string, reps int, seed int64, quick bool) error {
+	ns := []int{1000, 10000}
+	batches := []int{8, 32}
+	if quick {
+		ns = []int{1000}
+		batches = []int{32}
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	const procs, alg = 8, "HEFT"
+
+	rep := streamReport{
+		Suite:     "dagsched-stream",
+		GoVersion: runtime.Version(),
+		GoOSArch:  runtime.GOOS + "/" + runtime.GOARCH,
+		CPU:       cpuModel(),
+		Config:    streamBenchConfig{Procs: procs, Algorithm: alg, Reps: reps, Seed: seed},
+	}
+	for _, n := range ns {
+		rng := rand.New(rand.NewSource(seed + int64(n)))
+		g, err := dagsched.RandomDAG(dagsched.RandomDAGConfig{N: n}, rng)
+		if err != nil {
+			return err
+		}
+		in, err := dagsched.MakeInstance(g, dagsched.WorkloadConfig{Procs: procs, CCR: 1, Beta: 1}, rng)
+		if err != nil {
+			return err
+		}
+		arrival := make([]dag.TaskID, n)
+		for i := range arrival {
+			arrival[i] = dag.TaskID(i)
+		}
+		evs, err := stream.InstanceEvents(in, arrival)
+		if err != nil {
+			return err
+		}
+
+		// The static oracle: the same final graph through the Builder
+		// path, scheduled in one shot.
+		oracle, err := stream.StaticInstance(evs, in.Sys, "")
+		if err != nil {
+			return err
+		}
+		a, err := dagsched.AlgorithmByName(alg)
+		if err != nil {
+			return err
+		}
+		static, err := a.Schedule(oracle)
+		if err != nil {
+			return err
+		}
+		wantDigest := testfix.ScheduleDigest(static)
+
+		for _, batch := range batches {
+			pt := streamPoint{N: n, Batch: batch, Events: len(evs), Makespan: static.Makespan()}
+			match := true
+			for _, full := range []bool{false, true} {
+				cfg := stream.Config{Algorithm: alg, Sys: in.Sys, BatchSize: batch, FullRecompute: full}
+				leg, eng, err := replayLeg(cfg, evs, reps)
+				if err != nil {
+					return fmt.Errorf("n=%d batch=%d full=%v: %w", n, batch, full, err)
+				}
+				if !eng.Sealed() {
+					return fmt.Errorf("n=%d batch=%d full=%v: log did not seal", n, batch, full)
+				}
+				if d := testfix.ScheduleDigest(eng.Schedule()); d != wantDigest {
+					match = false
+					fmt.Fprintf(os.Stderr, "stream: n=%d batch=%d full=%v: sealed schedule diverges from the static oracle\n",
+						n, batch, full)
+				}
+				if full {
+					pt.Full = leg
+				} else {
+					pt.Incremental = leg
+				}
+			}
+			pt.DigestMatch = match
+			pt.Speedup = pt.Full.TotalMs / pt.Incremental.TotalMs
+			fmt.Fprintf(os.Stderr, "stream: n=%d batch=%d  incremental=%.1fms  full=%.1fms  speedup=%.2fx\n",
+				n, batch, pt.Incremental.TotalMs, pt.Full.TotalMs, pt.Speedup)
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	for _, pt := range rep.Points {
+		if !pt.DigestMatch {
+			return fmt.Errorf("equivalence guard failed: sealed stream schedules diverge from the static oracle")
+		}
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(outPath, buf, 0o644)
+}
+
+// replayLeg replays the log reps times under one engine mode, keeping
+// the best total wall-clock (per-Apply timings from that same best rep)
+// and returning the final engine for the equivalence guard.
+func replayLeg(cfg stream.Config, evs []stream.Event, reps int) (streamLeg, *stream.Engine, error) {
+	var best time.Duration
+	var bestLats []float64
+	var bestEng *stream.Engine
+	for r := 0; r < reps; r++ {
+		eng, err := stream.NewEngine(cfg)
+		if err != nil {
+			return streamLeg{}, nil, err
+		}
+		lats := make([]float64, 0, len(evs)/max(cfg.BatchSize, 1)+2)
+		var total time.Duration
+		for i, ev := range evs {
+			start := time.Now()
+			d, err := eng.Apply(ev)
+			el := time.Since(start)
+			if err != nil {
+				return streamLeg{}, nil, fmt.Errorf("event %d: %w", i, err)
+			}
+			total += el
+			if d != nil {
+				lats = append(lats, float64(el.Microseconds())/1000)
+			}
+		}
+		if bestEng == nil || total < best {
+			best, bestLats, bestEng = total, lats, eng
+		}
+	}
+	leg := streamLeg{
+		TotalMs:    float64(best.Microseconds()) / 1000,
+		EventsPerS: float64(len(evs)) / best.Seconds(),
+		Replans:    len(bestLats),
+	}
+	var sum float64
+	for _, l := range bestLats {
+		sum += l
+	}
+	if len(bestLats) > 0 {
+		sorted := append([]float64(nil), bestLats...)
+		sort.Float64s(sorted)
+		leg.ReplanMeanMs = sum / float64(len(bestLats))
+		leg.ReplanP99Ms = quantile(sorted, 0.99)
+		leg.ReplanMaxMs = sorted[len(sorted)-1]
+	}
+	return leg, bestEng, nil
+}

@@ -7,6 +7,7 @@
 //	schedgen -type gauss -m 8 -o g.json
 //	schedrun -graph g.json -algo ILS -procs 4 -ccr 1 -beta 1
 //	schedrun -graph g.json -all -procs 8
+//	schedrun -stream events.ndjson
 package main
 
 import (
@@ -45,6 +46,8 @@ func main() {
 		analyze   = flag.Bool("analyze", false, "print slack/idle analysis of the best schedule")
 		failProc  = flag.Int("fail-proc", -1, "simulate a fail-stop of this processor and repair")
 		failAt    = flag.Float64("fail-at", 0, "failure time for -fail-proc (fraction of makespan if < 1)")
+		streamLog = flag.String("stream", "", "replay an NDJSON event log (config first line) through the incremental streaming engine")
+		streamFul = flag.Bool("stream-full", false, "with -stream, re-plan from scratch at every flush (baseline mode)")
 		faults    = flag.String("faults", "", "fault-plan JSON file; replay the best schedule under it and repair reactively")
 		faultSeed = flag.Int64("fault-seed", 0, "override the fault plan's jitter seed (0 keeps the plan's own)")
 		repairPol = flag.String("repair-policy", "auto", "reactive repair policy for -faults: auto|remap-stranded|reschedule-suffix")
@@ -55,6 +58,10 @@ func main() {
 		for _, n := range dagsched.AlgorithmNames() {
 			fmt.Println(n)
 		}
+		return
+	}
+	if *streamLog != "" {
+		runStreamReplay(*streamLog, *streamFul, *gantt)
 		return
 	}
 	var in *dagsched.Instance

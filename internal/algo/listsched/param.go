@@ -339,6 +339,28 @@ func staticOrder(g *dag.Graph, prio []float64) []dag.TaskID {
 	return order
 }
 
+// StaticOrder exposes the static consumption order for callers that
+// replay Param's placement loop outside ScheduleContext — the streaming
+// engine's seal-time re-plan must consume tasks in exactly this order to
+// stay bit-identical to the static scheduler.
+func StaticOrder(g *dag.Graph, prio []float64) []dag.TaskID {
+	return staticOrder(g, prio)
+}
+
+// CPPin exposes the critical-path pinning state of the CPOP selection
+// rule — the on-path mask and the pinned processor — computed exactly as
+// ScheduleContext computes it, for the same external replay callers.
+func CPPin(in *sched.Instance) (onCP []bool, proc int) {
+	st := newCPState(in)
+	return st.onCP, st.proc
+}
+
+// PriorityVector exposes the configured priority metric for external
+// replay callers (see StaticOrder).
+func (pm Param) PriorityVector(in *sched.Instance) []float64 {
+	return pm.priorities(in)
+}
+
 // priorities computes the configured priority vector.
 func (pm Param) priorities(in *sched.Instance) []float64 {
 	switch pm.Priority {

@@ -1,0 +1,271 @@
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Appendable is a growable builder view over the CSR Graph substrate for
+// streaming workloads: tasks and edges are appended over time, every
+// append is validated eagerly (the streaming engine needs a per-event
+// verdict, not a deferred Build error), and acyclicity is maintained
+// incrementally — a cycle-creating edge is rejected in O(affected
+// region) without touching the accumulated state, instead of re-running
+// Kahn over the whole graph per event.
+//
+// The incremental machinery follows Pearce & Kelly's dynamic topological
+// order: ord[v] is v's position in a maintained topological order. An
+// edge (from, to) with ord[from] < ord[to] is consistent and costs O(out
+// degree) to validate; a violating edge triggers a bounded discovery of
+// the affected region (the tasks ordered between to and from) and a
+// permutation of only those positions. Reaching from while walking
+// forward from to proves the cycle before anything is mutated.
+//
+// Seal batches the accumulated structure back into an immutable *Graph:
+// one CSR fill plus adjacency sort, with the graph's topo cache primed
+// by a fresh Kahn pass. The PK order validates appends; the canonical
+// Kahn order is what Builder.Build primes, and sealing with the same
+// order keeps a sealed stream bit-identical to a statically built graph
+// (tie-breaks in the list schedulers read topological positions).
+// Sealing does not consume the Appendable: appending and re-sealing
+// continues, which is the streaming engine's flush loop.
+type Appendable struct {
+	name  string
+	tasks []Task
+	succ  [][]Adj // per-task successor lists, append order
+	pred  [][]Adj // per-task predecessor lists, append order
+	edges int
+
+	ord   []int    // ord[v]: v's position in the maintained topological order
+	byPos []TaskID // inverse permutation: byPos[ord[v]] = v
+
+	// DFS scratch, reused across reorders: mark[v] == gen marks v visited
+	// in the current pass, so clearing is O(0) per reorder.
+	mark []uint32
+	gen  uint32
+}
+
+// NewAppendable returns an empty appendable graph with the given name.
+func NewAppendable(name string) *Appendable { return &Appendable{name: name} }
+
+// Len returns the number of tasks appended so far.
+func (ap *Appendable) Len() int { return len(ap.tasks) }
+
+// NumEdges returns the number of edges appended so far.
+func (ap *Appendable) NumEdges() int { return ap.edges }
+
+// Task returns the task with the given id.
+func (ap *Appendable) Task(id TaskID) Task { return ap.tasks[id] }
+
+// AddTask appends a task and returns its id. Ids are dense and assigned
+// in arrival order. The weight must be finite and non-negative.
+func (ap *Appendable) AddTask(name string, weight float64) (TaskID, error) {
+	if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return 0, fmt.Errorf("dag: task %q has invalid weight %g", name, weight)
+	}
+	id := TaskID(len(ap.tasks))
+	if name == "" {
+		name = fmt.Sprintf("t%d", id)
+	}
+	ap.tasks = append(ap.tasks, Task{ID: id, Name: name, Weight: weight})
+	ap.succ = append(ap.succ, nil)
+	ap.pred = append(ap.pred, nil)
+	// A fresh task has no edges; appending it at the end of the current
+	// order is trivially consistent.
+	ap.ord = append(ap.ord, len(ap.byPos))
+	ap.byPos = append(ap.byPos, id)
+	ap.mark = append(ap.mark, 0)
+	return id, nil
+}
+
+// ErrWouldCycle reports that an appended edge would close a dependency
+// cycle. It wraps ErrCycle so existing errors.Is(err, ErrCycle) checks
+// also match.
+var ErrWouldCycle = fmt.Errorf("%w (edge rejected)", ErrCycle)
+
+// AddEdge appends a dependency from -> to carrying data units of
+// communication. Out-of-range endpoints, self-loops, duplicate edges,
+// invalid data volumes and cycle-creating edges are rejected; a rejected
+// edge leaves the accumulated graph untouched.
+func (ap *Appendable) AddEdge(from, to TaskID, data float64) error {
+	n := len(ap.tasks)
+	if from < 0 || int(from) >= n || to < 0 || int(to) >= n {
+		return fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", from, to, n)
+	}
+	if from == to {
+		return fmt.Errorf("dag: self-loop on task %d", from)
+	}
+	if data < 0 || math.IsNaN(data) || math.IsInf(data, 0) {
+		return fmt.Errorf("dag: edge (%d,%d) has invalid data %g", from, to, data)
+	}
+	si := sort.Search(len(ap.succ[from]), func(k int) bool { return ap.succ[from][k].To >= to })
+	if si < len(ap.succ[from]) && ap.succ[from][si].To == to {
+		return fmt.Errorf("dag: duplicate edge (%d,%d)", from, to)
+	}
+	if ap.ord[from] > ap.ord[to] {
+		if err := ap.reorder(from, to); err != nil {
+			return err
+		}
+	}
+	ap.succ[from] = insertAdj(ap.succ[from], si, Adj{To: to, Data: data})
+	pi := sort.Search(len(ap.pred[to]), func(k int) bool { return ap.pred[to][k].To >= from })
+	ap.pred[to] = insertAdj(ap.pred[to], pi, Adj{To: from, Data: data})
+	ap.edges++
+	return nil
+}
+
+// insertAdj inserts a at position i, keeping the list sorted by To.
+// Sorted insertion costs O(degree) per edge but lets Seal copy adjacency
+// straight into CSR form with no per-seal sort — the right trade for the
+// streaming flush loop, which seals once per batch.
+func insertAdj(list []Adj, i int, a Adj) []Adj {
+	list = append(list, Adj{})
+	copy(list[i+1:], list[i:])
+	list[i] = a
+	return list
+}
+
+// reorder restores ord for a violating edge (from, to) — ord[from] >
+// ord[to] on entry — or reports ErrWouldCycle without mutating anything.
+// It discovers deltaF (tasks reachable forward from to within the
+// affected position window) and deltaB (tasks reaching from backward
+// within it), then reassigns the union of their positions: deltaB keeps
+// its relative order and moves in front of deltaF, which also keeps its
+// own. Only |deltaF| + |deltaB| positions change.
+func (ap *Appendable) reorder(from, to TaskID) error {
+	lb, ub := ap.ord[to], ap.ord[from]
+
+	// Forward DFS from to, bounded above by ub. Reaching from proves
+	// the new edge closes a cycle.
+	ap.gen++
+	deltaF := []TaskID{to}
+	ap.mark[to] = ap.gen
+	stack := []TaskID{to}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range ap.succ[v] {
+			w := a.To
+			if w == from {
+				return ErrWouldCycle
+			}
+			if ap.mark[w] != ap.gen && ap.ord[w] < ub {
+				ap.mark[w] = ap.gen
+				deltaF = append(deltaF, w)
+				stack = append(stack, w)
+			}
+		}
+	}
+
+	// Backward DFS from from, bounded below by lb. The two regions are
+	// disjoint: a task in both would witness a path to -> ... -> from,
+	// which the forward pass would have reported as a cycle.
+	deltaB := []TaskID{from}
+	ap.mark[from] = ap.gen
+	stack = append(stack[:0], from)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range ap.pred[v] {
+			w := a.To
+			if ap.mark[w] != ap.gen && ap.ord[w] > lb {
+				ap.mark[w] = ap.gen
+				deltaB = append(deltaB, w)
+				stack = append(stack, w)
+			}
+		}
+	}
+
+	// Sort both deltas by current position so each keeps its internal
+	// order, pool their positions, and deal deltaB then deltaF back in.
+	byOrd := func(set []TaskID) {
+		sort.Slice(set, func(i, j int) bool { return ap.ord[set[i]] < ap.ord[set[j]] })
+	}
+	byOrd(deltaF)
+	byOrd(deltaB)
+	pool := make([]int, 0, len(deltaF)+len(deltaB))
+	i, j := 0, 0
+	for i < len(deltaB) || j < len(deltaF) {
+		switch {
+		case i == len(deltaB):
+			pool = append(pool, ap.ord[deltaF[j]])
+			j++
+		case j == len(deltaF):
+			pool = append(pool, ap.ord[deltaB[i]])
+			i++
+		case ap.ord[deltaB[i]] < ap.ord[deltaF[j]]:
+			pool = append(pool, ap.ord[deltaB[i]])
+			i++
+		default:
+			pool = append(pool, ap.ord[deltaF[j]])
+			j++
+		}
+	}
+	k := 0
+	for _, v := range deltaB {
+		ap.ord[v] = pool[k]
+		ap.byPos[pool[k]] = v
+		k++
+	}
+	for _, v := range deltaF {
+		ap.ord[v] = pool[k]
+		ap.byPos[pool[k]] = v
+		k++
+	}
+	return nil
+}
+
+// Position returns v's position in the maintained topological order.
+// Positions change as violating edges arrive; they are a valid
+// topological order of the current graph at all times.
+func (ap *Appendable) Position(v TaskID) int { return ap.ord[v] }
+
+// Positions returns a copy of the maintained topological positions,
+// indexed by task id. Any dependency-respecting processing order may use
+// it; the incremental rank repair does.
+func (ap *Appendable) Positions() []int {
+	return append([]int(nil), ap.ord...)
+}
+
+// Seal batches the accumulated structure into an immutable Graph: a
+// straight CSR fill (adjacency is kept sorted on insertion) with the
+// graph's topo cache primed with the canonical
+// Kahn order (identical to what Builder.Build would produce for the same
+// tasks and edges, so sealed streams and static builds are
+// interchangeable). The Appendable stays usable; later appends are
+// picked up by the next Seal.
+func (ap *Appendable) Seal() (*Graph, error) {
+	n := len(ap.tasks)
+	if n == 0 {
+		return nil, errors.New("dag: graph has no tasks")
+	}
+	g := &Graph{
+		name:  ap.name,
+		tasks: append([]Task(nil), ap.tasks...),
+		edges: ap.edges,
+	}
+	g.succOff = make([]int32, n+1)
+	g.predOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		g.succOff[i+1] = g.succOff[i] + int32(len(ap.succ[i]))
+		g.predOff[i+1] = g.predOff[i] + int32(len(ap.pred[i]))
+	}
+	g.succAdj = make([]Adj, ap.edges)
+	g.predAdj = make([]Adj, ap.edges)
+	for i := 0; i < n; i++ {
+		// Adjacency is maintained sorted by neighbor id (insertAdj), so
+		// the CSR fill is a straight copy.
+		copy(g.succAdj[g.succOff[i]:g.succOff[i+1]], ap.succ[i])
+		copy(g.predAdj[g.predOff[i]:g.predOff[i+1]], ap.pred[i])
+	}
+	order, err := topoOrder(g)
+	if err != nil {
+		// The incremental order maintenance guarantees acyclicity; this
+		// indicates memory corruption or misuse of package internals.
+		return nil, err
+	}
+	g.topoOnce.Do(func() { g.topo = order })
+	return g, nil
+}

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+// TestNewInstanceGrownMatchesFresh grows a graph in batches, chaining
+// NewInstanceGrown, and checks every cached statistic bit-identical to a
+// fresh NewInstance of the same graph at every step.
+func TestNewInstanceGrownMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sys := platform.Homogeneous(4, 1.5, 0.5)
+	ap := dag.NewAppendable("grow")
+	var w [][]float64
+
+	var prev *Instance
+	for batch := 0; batch < 12; batch++ {
+		for k := 0; k < 8; k++ {
+			id, err := ap.AddTask("", float64(1+rng.Intn(9)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := make([]float64, sys.Len())
+			for p := range row {
+				row[p] = float64(1+rng.Intn(9)) * (0.5 + rng.Float64())
+			}
+			w = append(w, row)
+			for tries := 0; tries < 2 && id > 0; tries++ {
+				from := dag.TaskID(rng.Intn(int(id)))
+				// Ignore duplicates: the random draw may repeat an edge.
+				_ = ap.AddEdge(from, id, float64(rng.Intn(20)))
+			}
+		}
+		g, err := ap.Seal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var grown *Instance
+		if prev == nil {
+			grown, err = NewInstance(g, sys, w)
+		} else {
+			grown, err = NewInstanceGrown(prev, g, w)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewInstance(g, sys, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.Len(); i++ {
+			v := dag.TaskID(i)
+			if grown.MeanCost(v) != fresh.MeanCost(v) || grown.SigmaCost(v) != fresh.SigmaCost(v) {
+				t.Fatalf("batch %d task %d: stats differ: mean %x/%x sigma %x/%x", batch, i,
+					grown.MeanCost(v), fresh.MeanCost(v), grown.SigmaCost(v), fresh.SigmaCost(v))
+			}
+			for p := 0; p < sys.Len(); p++ {
+				if grown.Cost(v, p) != fresh.Cost(v, p) {
+					t.Fatalf("batch %d task %d proc %d: cost differs", batch, i, p)
+				}
+			}
+			for j := range g.Succ(v) {
+				if grown.MeanCommSucc(v, j) != fresh.MeanCommSucc(v, j) {
+					t.Fatalf("batch %d task %d succ arc %d: mean comm %x != %x", batch, i, j,
+						grown.MeanCommSucc(v, j), fresh.MeanCommSucc(v, j))
+				}
+			}
+			for j := range g.Pred(v) {
+				if grown.MeanCommPred(v, j) != fresh.MeanCommPred(v, j) {
+					t.Fatalf("batch %d task %d pred arc %d: mean comm %x != %x", batch, i, j,
+						grown.MeanCommPred(v, j), fresh.MeanCommPred(v, j))
+				}
+			}
+		}
+		// The upward ranks — the digest-critical consumer — agree too.
+		gr, fr := RankUpward(grown), RankUpward(fresh)
+		for i := range gr {
+			if gr[i] != fr[i] {
+				t.Fatalf("batch %d: rank[%d] %x != %x", batch, i, gr[i], fr[i])
+			}
+		}
+		prev = grown
+	}
+}
+
+func TestNewInstanceGrownValidates(t *testing.T) {
+	ap := dag.NewAppendable("g")
+	ap.AddTask("", 1)
+	g, err := ap.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := platform.Homogeneous(2, 0, 1)
+	in, err := NewInstance(g, sys, [][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap.AddTask("", 2)
+	g2, err := ap.Seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInstanceGrown(in, g2, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("short cost matrix accepted")
+	}
+	if _, err := NewInstanceGrown(in, g2, [][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged cost row accepted")
+	}
+	if _, err := NewInstanceGrown(in, g2, [][]float64{{1, 2}, {3, -1}}); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+	if _, err := NewInstanceGrown(in, g, [][]float64{{1, 2}}); err != nil {
+		t.Fatalf("no-op grow rejected: %v", err)
+	}
+}

@@ -1,0 +1,150 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"dagsched/internal/dag"
+)
+
+// Suffix re-planning: the streaming engine freezes the prefix of a
+// schedule that has (virtually) started executing and re-places only the
+// suffix. Plan and Txn share the placement surface, so a caller can
+// re-plan speculatively inside a transaction and commit or roll back.
+
+// Placer is the placement surface shared by *Plan and *Txn. Suffix
+// re-planning is written against it so the same code runs directly on a
+// plan or speculatively inside a transaction.
+type Placer interface {
+	Instance() *Instance
+	Scheduled(i dag.TaskID) bool
+	DataReady(i dag.TaskID, p int) float64
+	FindSlot(p int, ready, dur float64, insertion bool) float64
+	EFTOn(i dag.TaskID, p int, insertion bool) (start, finish float64)
+	Place(i dag.TaskID, p int, start float64) Assignment
+}
+
+var (
+	_ Placer = (*Plan)(nil)
+	_ Placer = (*Txn)(nil)
+)
+
+// SplitHorizon partitions assignments at a virtual clock: frozen are
+// those that started strictly before it (already running — immovable),
+// movable the rest. A clock of zero freezes nothing. Frozen sets are
+// ancestor-closed under precedence-valid schedules with non-negative
+// communication: a predecessor finishes no later than its successor
+// starts, so it started strictly earlier too.
+func SplitHorizon(as []Assignment, clock float64) (frozen, movable []Assignment) {
+	for _, a := range as {
+		if a.Start < clock {
+			frozen = append(frozen, a)
+		} else {
+			movable = append(movable, a)
+		}
+	}
+	return frozen, movable
+}
+
+// SeedPlan returns a fresh plan with the given assignments re-placed at
+// their exact original processors and start times — the frozen prefix a
+// suffix re-plan builds on. Primaries are placed before duplicates so a
+// duplicated task's first copy stays primary. Intended for the
+// contention-free communication model, where placement order does not
+// alter link state (resched's repair path makes the same assumption).
+func SeedPlan(in *Instance, frozen []Assignment) *Plan {
+	pl := NewPlan(in)
+	for _, a := range frozen {
+		if !a.Dup {
+			pl.Place(a.Task, a.Proc, a.Start)
+		}
+	}
+	for _, a := range frozen {
+		if a.Dup {
+			pl.PlaceDup(a.Task, a.Proc, a.Start)
+		}
+	}
+	return pl
+}
+
+// Grow re-binds a live plan to a grown instance so a streaming caller
+// can keep placing into it instead of rebuilding: same platform, a graph
+// whose existing tasks kept their ids and predecessor arcs, and
+// unchanged cost rows for every placed task (appended tasks and arcs
+// into unplaced tasks only — the engine's fast path when no placed task
+// is affected). New tasks start unscheduled; Done/Finalize account for
+// the new total. Only the contention-free model is supported: grown
+// instances would need their reservation state replayed.
+func (pl *Plan) Grow(in *Instance) error {
+	if in.P() != pl.in.P() {
+		return fmt.Errorf("sched: Grow changes processor count %d -> %d", pl.in.P(), in.P())
+	}
+	if in.N() < pl.in.N() {
+		return fmt.Errorf("sched: Grow shrinks task count %d -> %d", pl.in.N(), in.N())
+	}
+	if pl.comm != nil || in.comm != nil {
+		return fmt.Errorf("sched: Grow requires the contention-free communication model")
+	}
+	delta := in.N() - pl.in.N()
+	if delta > 0 {
+		arena := make([]Assignment, delta)
+		for i := 0; i < delta; i++ {
+			pl.byTask = append(pl.byTask, arena[i:i:i+1])
+		}
+	}
+	pl.in = in
+	// Invalidate any open transaction: it was begun against the old
+	// instance and its snapshots no longer describe this plan.
+	pl.epoch++
+	return nil
+}
+
+// EFTFloored is EFTOn with the task's data-ready time floored at the
+// clock: a re-planned task cannot start in the frozen past. At clock
+// zero it is bit-identical to EFTOn.
+func EFTFloored(v Placer, t dag.TaskID, p int, clock float64, insertion bool) (start, finish float64) {
+	in := v.Instance()
+	ready := v.DataReady(t, p)
+	if ready < clock {
+		ready = clock
+	}
+	dur := in.Cost(t, p)
+	start = v.FindSlot(p, ready, dur, insertion)
+	return start, start + dur
+}
+
+// PlaceFloored places t on p at its clock-floored earliest start.
+func PlaceFloored(v Placer, t dag.TaskID, p int, clock float64, insertion bool) Assignment {
+	start, _ := EFTFloored(v, t, p, clock, insertion)
+	return v.Place(t, p, start)
+}
+
+// ReplanSuffix re-places tasks in the given order (which must be
+// precedence-safe: every predecessor either frozen, already placed, or
+// earlier in the order), choosing per task the processor with the
+// earliest finish — or earliest start when byStart is set (the EST
+// selection rule) — with readiness floored at the clock. It returns the
+// latest finish among the placed tasks.
+func ReplanSuffix(v Placer, order []dag.TaskID, clock float64, insertion, byStart bool) float64 {
+	in := v.Instance()
+	maxFinish := 0.0
+	for _, t := range order {
+		bestP := -1
+		bestS, bestF := math.Inf(1), math.Inf(1)
+		for p := 0; p < in.P(); p++ {
+			s, f := EFTFloored(v, t, p, clock, insertion)
+			better := f < bestF
+			if byStart {
+				better = s < bestS
+			}
+			if bestP == -1 || better {
+				bestP, bestS, bestF = p, s, f
+			}
+		}
+		a := v.Place(t, bestP, bestS)
+		if a.Finish > maxFinish {
+			maxFinish = a.Finish
+		}
+	}
+	return maxFinish
+}

@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"dagsched/internal/dag"
+	"dagsched/internal/platform"
+)
+
+// replanInstance builds a random layered instance for the suffix
+// re-planning tests.
+func replanInstance(t *testing.T, seed int64, n, procs int) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := dag.NewBuilder("replan")
+	for i := 0; i < n; i++ {
+		b.AddTask("", float64(1+rng.Intn(9)))
+	}
+	for to := 1; to < n; to++ {
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			from := rng.Intn(to)
+			b.AddEdge(dag.TaskID(from), dag.TaskID(to), float64(rng.Intn(20)))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		// Duplicate edges from the random draw: retry with the next seed.
+		return replanInstance(t, seed+1000, n, procs)
+	}
+	return Consistent(g, platform.Homogeneous(procs, 1, 0.25))
+}
+
+// heftPlan schedules the instance with a plain EFT list pass (upward
+// rank order), returning the plan.
+func heftPlan(in *Instance) *Plan {
+	pl := NewPlan(in)
+	order := SortByRankDesc(RankUpward(in))
+	for _, t := range order {
+		p, s, _ := pl.BestEFT(t, true)
+		pl.Place(t, p, s)
+	}
+	return pl
+}
+
+func TestSeedPlanRoundTrip(t *testing.T) {
+	in := replanInstance(t, 1, 40, 3)
+	pl := heftPlan(in)
+	s := pl.Finalize("seed")
+
+	var as []Assignment
+	for i := 0; i < in.N(); i++ {
+		as = append(as, pl.Copies(dag.TaskID(i))...)
+	}
+	re := SeedPlan(in, as)
+	if re.Makespan() != pl.Makespan() {
+		t.Fatalf("makespan %v != %v", re.Makespan(), pl.Makespan())
+	}
+	for i := 0; i < in.N(); i++ {
+		if re.Primary(dag.TaskID(i)) != pl.Primary(dag.TaskID(i)) {
+			t.Fatalf("task %d moved: %+v != %+v", i, re.Primary(dag.TaskID(i)), pl.Primary(dag.TaskID(i)))
+		}
+	}
+	if err := re.Finalize("seed").Validate(); err != nil {
+		t.Fatalf("reseeded schedule invalid: %v", err)
+	}
+	_ = s
+}
+
+func TestSplitHorizon(t *testing.T) {
+	in := replanInstance(t, 2, 30, 3)
+	pl := heftPlan(in)
+	var as []Assignment
+	for i := 0; i < in.N(); i++ {
+		as = append(as, pl.Copies(dag.TaskID(i))...)
+	}
+	clock := pl.Makespan() / 2
+	frozen, movable := SplitHorizon(as, clock)
+	if len(frozen)+len(movable) != len(as) {
+		t.Fatal("partition lost assignments")
+	}
+	for _, a := range frozen {
+		if a.Start >= clock {
+			t.Fatalf("frozen %+v at/after clock %g", a, clock)
+		}
+	}
+	for _, a := range movable {
+		if a.Start < clock {
+			t.Fatalf("movable %+v before clock %g", a, clock)
+		}
+	}
+	// Ancestor closure: every predecessor of a frozen task is frozen.
+	isFrozen := map[dag.TaskID]bool{}
+	for _, a := range frozen {
+		isFrozen[a.Task] = true
+	}
+	for _, a := range frozen {
+		for _, p := range in.G.Pred(a.Task) {
+			if !isFrozen[p.To] {
+				t.Fatalf("frozen task %d has movable predecessor %d", a.Task, p.To)
+			}
+		}
+	}
+	// Horizon zero freezes nothing.
+	if f, _ := SplitHorizon(as, 0); len(f) != 0 {
+		t.Fatalf("clock 0 froze %d assignments", len(f))
+	}
+}
+
+// movableOrder returns the movable task ids in a precedence-safe order
+// (canonical topo order filtered to the movable set).
+func movableOrder(in *Instance, movable []Assignment) []dag.TaskID {
+	keep := map[dag.TaskID]bool{}
+	for _, a := range movable {
+		keep[a.Task] = true
+	}
+	var order []dag.TaskID
+	for _, v := range in.G.TopoOrder() {
+		if keep[v] {
+			order = append(order, v)
+		}
+	}
+	return order
+}
+
+func TestReplanSuffixOnPlanAndTxn(t *testing.T) {
+	for _, byStart := range []bool{false, true} {
+		in := replanInstance(t, 3, 50, 4)
+		base := heftPlan(in)
+		var as []Assignment
+		for i := 0; i < in.N(); i++ {
+			as = append(as, base.Copies(dag.TaskID(i))...)
+		}
+		clock := base.Makespan() * 0.4
+		frozen, movable := SplitHorizon(as, clock)
+		order := movableOrder(in, movable)
+
+		// Directly on a plan.
+		pl := SeedPlan(in, frozen)
+		ReplanSuffix(pl, order, clock, true, byStart)
+		direct := pl.Finalize("replan")
+		if err := direct.Validate(); err != nil {
+			t.Fatalf("byStart=%v: direct replan invalid: %v", byStart, err)
+		}
+		for _, a := range direct.All() {
+			if a.Start < clock {
+				// Must be one of the frozen prefix placements.
+				found := false
+				for _, f := range frozen {
+					if f == a {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("byStart=%v: re-planned task %d started at %g before clock %g", byStart, a.Task, a.Start, clock)
+				}
+			}
+		}
+
+		// Speculatively inside a transaction, then committed: identical.
+		pl2 := SeedPlan(in, frozen)
+		tx := pl2.Begin()
+		ReplanSuffix(tx, order, clock, true, byStart)
+		tx.Commit()
+		committed := pl2.Finalize("replan")
+		if len(committed.All()) != len(direct.All()) {
+			t.Fatalf("byStart=%v: txn replan differs in size", byStart)
+		}
+		for i, a := range committed.All() {
+			if direct.All()[i] != a {
+				t.Fatalf("byStart=%v: txn replan differs at %d: %+v != %+v", byStart, i, a, direct.All()[i])
+			}
+		}
+
+		// Rolled back: the seeded prefix is untouched.
+		pl3 := SeedPlan(in, frozen)
+		tx3 := pl3.Begin()
+		ReplanSuffix(tx3, order, clock, true, byStart)
+		tx3.Rollback()
+		for _, f := range frozen {
+			cs := pl3.Copies(f.Task)
+			if len(cs) != 1 || cs[0] != f {
+				t.Fatalf("byStart=%v: rollback disturbed frozen task %d", byStart, f.Task)
+			}
+		}
+		for _, m := range movable {
+			if pl3.Scheduled(m.Task) {
+				t.Fatalf("byStart=%v: rollback left movable task %d placed", byStart, m.Task)
+			}
+		}
+	}
+}
+
+func TestEFTFlooredAtZeroMatchesEFTOn(t *testing.T) {
+	in := replanInstance(t, 4, 30, 3)
+	pl := NewPlan(in)
+	order := SortByRankDesc(RankUpward(in))
+	for _, task := range order {
+		for p := 0; p < in.P(); p++ {
+			s0, f0 := pl.EFTOn(task, p, true)
+			s1, f1 := EFTFloored(pl, task, p, 0, true)
+			if s0 != s1 || f0 != f1 {
+				t.Fatalf("task %d proc %d: floored (%x,%x) != EFTOn (%x,%x)", task, p, s1, f1, s0, f0)
+			}
+		}
+		p, s, _ := pl.BestEFT(task, true)
+		pl.Place(task, p, s)
+	}
+}

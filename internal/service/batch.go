@@ -7,6 +7,7 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strings"
 	"sync"
 )
 
@@ -20,6 +21,12 @@ import (
 // through the same tiered cache as single requests (local LRU, then
 // the owning peer's cache, then compute), and coalesce with concurrent
 // identical work.
+//
+// With "Accept: application/x-ndjson" the response streams instead:
+// one BatchItemResult JSON line per item in completion order, flushed
+// as each item finishes (a fast item is delivered while slow siblings
+// still run), closed by a summary line {"succeeded":N,"failed":M}.
+// Index identifies each result's request item.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -41,6 +48,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.ObserveBatch(n)
 	reqID, _ := r.Context().Value(reqIDKey{}).(string)
+	if wantsNDJSON(r) {
+		s.streamBatch(w, r, reqID, breq.Items)
+		return
+	}
 	results := make([]BatchItemResult, n)
 	var wg sync.WaitGroup
 	for i := range breq.Items {
@@ -60,6 +71,50 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// wantsNDJSON reports whether the request opted into streamed NDJSON
+// results.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// streamBatch fans the items out like the buffered path but writes
+// each result as soon as it completes: one JSON line per item, flushed
+// per line, then a summary trailer. The 200 status commits before the
+// first item finishes, so per-item failures are in-band (Status/Error
+// on the item line), exactly as in the buffered response body.
+func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, reqID string, items []ScheduleRequest) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	results := make(chan BatchItemResult)
+	for i := range items {
+		go func(i int) {
+			results <- s.runBatchItem(r, reqID, i, &items[i])
+		}(i)
+	}
+	enc := json.NewEncoder(w)
+	var succeeded, failed int
+	for range items {
+		res := <-results
+		if res.Status == http.StatusOK {
+			succeeded++
+		} else {
+			failed++
+		}
+		if err := enc.Encode(res); err != nil {
+			// The client went away; drain the remaining goroutines and
+			// stop writing.
+			continue
+		}
+		_ = rc.Flush()
+	}
+	_ = enc.Encode(struct {
+		Succeeded int `json:"succeeded"`
+		Failed    int `json:"failed"`
+	}{succeeded, failed})
+	_ = rc.Flush()
 }
 
 // runBatchItem resolves and schedules one batch item, mapping its
@@ -91,8 +146,9 @@ func (s *Server) runBatchItem(r *http.Request, reqID string, i int, item *Schedu
 	timeout := s.timeoutFor(item.TimeoutMs)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	low, _ := lowPriority(item.Priority) // validated by resolveRequest
 	resp, err := s.scheduleLocal(ctx, itemID, parsedItem{
-		alg: a, in: in, analyze: item.Analyze, faults: item.Faults, key: key,
+		alg: a, in: in, analyze: item.Analyze, faults: item.Faults, key: key, lowPrio: low,
 	}, true, true)
 	if err != nil {
 		res.Status, res.Error = s.statusFor(err, timeout)

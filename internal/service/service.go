@@ -63,6 +63,11 @@ type Options struct {
 	// MaxBatchItems bounds items per /v1/schedule/batch request
 	// (default 256).
 	MaxBatchItems int
+	// ShedWatermark is the queue depth at which low-priority requests
+	// are shed with 503 instead of queued, keeping headroom for normal
+	// traffic under overload. Zero defaults to 3/4 of QueueDepth;
+	// negative disables shedding.
+	ShedWatermark int
 	// SelfURL is this node's advertised base URL on the peer ring,
 	// e.g. "http://10.0.0.1:8080"; required when Peers names two or
 	// more nodes, and must appear in Peers.
@@ -106,6 +111,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatchItems <= 0 {
 		o.MaxBatchItems = 256
 	}
+	if o.ShedWatermark == 0 {
+		o.ShedWatermark = o.QueueDepth * 3 / 4
+		if o.ShedWatermark < 1 {
+			o.ShedWatermark = 1
+		}
+	}
 	if o.ProbeTimeout <= 0 {
 		o.ProbeTimeout = 500 * time.Millisecond
 	}
@@ -124,6 +135,11 @@ type job struct {
 	faults  *FaultsRequest
 	key     string
 	reqID   string
+	// exec, when set, replaces the standard scheduling run: the worker
+	// executes it instead of s.run. Streaming sessions use it to occupy
+	// one pool slot for their whole lifetime, so event streams compete
+	// with one-shot requests for the same bounded compute.
+	exec func() jobResult
 	// done receives exactly one result; buffered so a worker never
 	// blocks on a handler that already gave up on its deadline.
 	done chan jobResult
@@ -173,6 +189,7 @@ func New(opts Options) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/v1/schedule/batch", s.handleBatch)
+	mux.HandleFunc("/v1/schedule/stream", s.handleStream)
 	mux.HandleFunc("/v1/cache/", s.handleCache)
 	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -253,6 +270,10 @@ func (s *Server) worker() {
 		case j := <-s.jobs:
 			if err := j.ctx.Err(); err != nil {
 				j.done <- jobResult{err: err}
+				continue
+			}
+			if j.exec != nil {
+				j.done <- j.exec()
 				continue
 			}
 			j.done <- s.run(j)
@@ -415,6 +436,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// streaming handlers reach the connection's flusher and deadlines
+// through the recorder.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // instrument wraps the mux with request IDs, request counting, latency
 // recording and panic containment: a panicking handler answers 500 with
 // its request ID (when the response has not started) instead of tearing
@@ -497,6 +523,9 @@ func (s *Server) parseRequest(body io.Reader) (*ScheduleRequest, algo.Algorithm,
 func (s *Server) resolveRequest(req *ScheduleRequest) (algo.Algorithm, *sched.Instance, error) {
 	if req.Algorithm == "" {
 		return nil, nil, fmt.Errorf("missing algorithm name")
+	}
+	if _, err := lowPriority(req.Priority); err != nil {
+		return nil, nil, err
 	}
 	a, err := s.opts.Resolver(req.Algorithm)
 	if err != nil {
@@ -614,6 +643,11 @@ func bindCommModel(in *sched.Instance, req *ScheduleRequest) (*sched.Instance, e
 // path answers it 503 instead of waiting for a worker.
 var errQueueFull = errors.New("service: queue full")
 
+// errShed marks a low-priority request rejected at the shed watermark:
+// the queue still has room, but what is left is reserved for normal
+// traffic.
+var errShed = errors.New("service: low-priority request shed")
+
 // parsedItem is one validated scheduling query ready for the tiered
 // cache and the worker pool.
 type parsedItem struct {
@@ -622,6 +656,47 @@ type parsedItem struct {
 	analyze bool
 	faults  *FaultsRequest
 	key     string
+	lowPrio bool
+}
+
+// followerVerdict decides what a coalesced follower does when the
+// flight it parked on failed. leaderErr is the flight's error, ctxErr
+// the follower's own context state at that moment.
+//
+// A leader that died of cancellation or deadline must not poison its
+// followers: their own deadlines may still have room, so they retry
+// the flight (one of them becomes the next leader). But when the
+// follower's own context has also expired, the verdict is the
+// follower's error, not the leader's — the item timed out on its own
+// terms, and surfacing the leader's deadline would misreport which
+// request ran out of time (and with what budget).
+func followerVerdict(leaderErr, ctxErr error) (retry bool, err error) {
+	if errors.Is(leaderErr, context.Canceled) || errors.Is(leaderErr, context.DeadlineExceeded) {
+		if ctxErr == nil {
+			return true, nil
+		}
+		return false, ctxErr
+	}
+	return false, leaderErr
+}
+
+// shouldShed reports whether a low-priority item must be shed at the
+// current queue depth.
+func (s *Server) shouldShed(lowPrio bool) bool {
+	return lowPrio && s.opts.ShedWatermark > 0 && len(s.jobs) >= s.opts.ShedWatermark
+}
+
+// lowPriority validates a request's priority field and reports whether
+// it selects the sheddable class.
+func lowPriority(p string) (bool, error) {
+	switch p {
+	case "", "normal":
+		return false, nil
+	case "low":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown priority %q (want \"normal\" or \"low\")", p)
+	}
 }
 
 // timeoutFor resolves a request's timeoutMs against the server bounds.
@@ -642,6 +717,8 @@ func (s *Server) statusFor(err error, timeout time.Duration) (int, string) {
 	switch {
 	case errors.Is(err, errQueueFull):
 		return http.StatusServiceUnavailable, fmt.Sprintf("queue full (%d deep)", cap(s.jobs))
+	case errors.Is(err, errShed):
+		return http.StatusServiceUnavailable, fmt.Sprintf("low-priority request shed (queue depth at watermark %d)", s.opts.ShedWatermark)
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, fmt.Sprintf("deadline exceeded after %s: %v", timeout, err)
 	case errors.Is(err, context.Canceled):
@@ -691,13 +768,21 @@ func (s *Server) scheduleLocal(ctx context.Context, reqID string, it parsedItem,
 					cp.Coalesced = true
 					return &cp, nil
 				}
-				if (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+				retry, err := followerVerdict(f.err, ctx.Err())
+				if retry {
 					continue // the leader died of its own deadline, not ours
 				}
-				return nil, f.err
+				return nil, err
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
+		}
+		if s.shouldShed(it.lowPrio) {
+			// Cache and coalescing tiers above stay open to low-priority
+			// traffic (a hit costs nothing); only fresh compute is shed.
+			s.met.ObserveShed()
+			s.flights.finish(it.key, f, nil, errShed)
+			return nil, errShed
 		}
 		s.met.ObserveTier(tierMiss)
 		j := &job{ctx: ctx, alg: it.alg, in: it.in, analyze: it.analyze, faults: it.faults, key: it.key, reqID: reqID, done: make(chan jobResult, 1)}
@@ -781,8 +866,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(hdrServedBy, sh.self)
 	}
 	reqID, _ := r.Context().Value(reqIDKey{}).(string)
+	low, _ := lowPriority(req.Priority) // validated by resolveRequest
 	resp, err := s.scheduleLocal(ctx, reqID, parsedItem{
-		alg: a, in: in, analyze: req.Analyze, faults: req.Faults, key: key,
+		alg: a, in: in, analyze: req.Analyze, faults: req.Faults, key: key, lowPrio: low,
 	}, false, false)
 	if err != nil {
 		status, msg := s.statusFor(err, timeout)

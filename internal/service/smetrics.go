@@ -39,6 +39,12 @@ type serverMetrics struct {
 	latSumMs  float64
 	panics    int64
 	coalesced int64
+	shed      int64
+	// Streaming endpoint: session/seal counts and event/delta totals.
+	streamSessions int64
+	streamSealed   int64
+	streamEvents   int64
+	streamDeltas   int64
 	// Cache tier outcomes, indexed by tierLocal/tierPeer/tierMiss.
 	tiers [numTiers]int64
 	// Batch endpoint: request count, total items, size histogram.
@@ -95,6 +101,26 @@ func (m *serverMetrics) ObserveCoalesced() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.coalesced++
+}
+
+// ObserveShed records one low-priority item shed at the watermark.
+func (m *serverMetrics) ObserveShed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.shed++
+}
+
+// ObserveStream records one finished streaming session: the events it
+// ingested, the deltas it emitted and whether it reached a clean seal.
+func (m *serverMetrics) ObserveStream(events, deltas int64, sealed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streamSessions++
+	if sealed {
+		m.streamSealed++
+	}
+	m.streamEvents += events
+	m.streamDeltas += deltas
 }
 
 // ObserveTier records where one scheduling item was served from.
@@ -162,6 +188,11 @@ func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, c
 	out.Requests.Total = m.total
 	out.Requests.Panics = m.panics
 	out.Requests.Coalesced = m.coalesced
+	out.Requests.Shed = m.shed
+	out.Stream.Sessions = m.streamSessions
+	out.Stream.Sealed = m.streamSealed
+	out.Stream.Events = m.streamEvents
+	out.Stream.Deltas = m.streamDeltas
 	out.Requests.ByStatus = make(map[string]int64, len(m.byStatus))
 	for code, n := range m.byStatus {
 		out.Requests.ByStatus[statusLabel(code)] = n

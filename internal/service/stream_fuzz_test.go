@@ -1,0 +1,66 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzStreamEvents throws arbitrary NDJSON at the streaming endpoint:
+// malformed lines, duplicate task ids, cycle-closing edges, bogus
+// configs. Every session must be answered — 400 for rejected input,
+// 200 for streams that got going (errors then arrive in-band), 503/504
+// for overload and deadline — and the handler must never panic (a
+// panic escapes the recorder and fails the fuzz run loudly).
+func FuzzStreamEvents(f *testing.F) {
+	task := func(id int) string {
+		return `{"op":"addTask","id":` + string(rune('0'+id)) + `,"weight":1}` + "\n"
+	}
+	f.Add([]byte(`{"op":"config","algorithm":"HEFT","processors":2,"batchSize":1}` + "\n" +
+		task(0) + task(1) + `{"op":"addEdge","from":0,"to":1,"data":2}` + "\n" + `{"op":"seal"}` + "\n"))
+	f.Add([]byte(`{"op":"config"}` + "\n" + task(0) + task(0) + `{"op":"seal"}` + "\n"))
+	f.Add([]byte(`{"op":"config"}` + "\n" + task(0) + task(1) +
+		`{"op":"addEdge","from":0,"to":1}` + "\n" + `{"op":"addEdge","from":1,"to":0}` + "\n"))
+	f.Add([]byte(`{"op":"config","algorithm":"NOPE"}` + "\n"))
+	f.Add([]byte(`{"op":"config","processors":-1}` + "\n"))
+	f.Add([]byte(`{"op":"config","processors":999999}` + "\n"))
+	f.Add([]byte(`{"op":"config","priority":"urgent"}` + "\n"))
+	f.Add([]byte(`{"op":"config","priority":"low","timeoutMs":50}` + "\n" + task(0) + `{"op":"seal"}` + "\n"))
+	f.Add([]byte(`{"op":"config"}` + "\n" + `{"op":`))
+	f.Add([]byte(`{"op":"config"}` + "\n" + `{"op":"bogus"}` + "\n"))
+	f.Add([]byte(`{"op":"config"}` + "\n" + `{"op":"advance","clock":-5}` + "\n"))
+	f.Add([]byte(`{"op":"config"}` + "\n" + task(0) +
+		`{"op":"advance","clock":1e12}` + "\n" + `{"op":"flush"}` + "\n" + task(1) +
+		`{"op":"addEdge","from":1,"to":0}` + "\n"))
+	f.Add([]byte(`{"op":"config"}` + "\n" +
+		`{"op":"addTask","id":0,"weight":1,"costs":[1,2,3]}` + "\n" + `{"op":"seal"}` + "\n"))
+	f.Add([]byte(`{"op":"config"}` + "\n" +
+		`{"op":"addTask","id":0,"weight":-1}` + "\n"))
+	f.Add([]byte(`{"op":"seal"}` + "\n"))
+	f.Add([]byte(``))
+	f.Add([]byte("\n\n\n"))
+
+	s := New(Options{Addr: "127.0.0.1:0", Workers: 2, QueueDepth: 8, CacheSize: -1,
+		DefaultTimeout: 2 * time.Second})
+	if _, err := s.Start(); err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/schedule/stream", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.handleStream(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		default:
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+	})
+}

@@ -43,6 +43,11 @@ type ScheduleRequest struct {
 	// TimeoutMs caps this request's scheduling time. Zero applies the
 	// server default; values above the server maximum are clamped.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Priority selects the load-shedding class: "" or "normal" queues
+	// like any request; "low" is shed with 503 once the queue reaches
+	// the server's shed watermark, keeping the remaining queue headroom
+	// for normal traffic. Cache hits are served regardless of class.
+	Priority string `json:"priority,omitempty"`
 }
 
 // ScheduleResponse is the wire form of a scheduling result.
@@ -193,6 +198,9 @@ type MetricsSnapshot struct {
 		// Coalesced counts requests that joined a concurrent identical
 		// in-flight computation instead of starting their own.
 		Coalesced int64 `json:"coalesced"`
+		// Shed counts low-priority items rejected at the shed watermark
+		// (queue depth reserved for normal traffic).
+		Shed int64 `json:"shed"`
 	} `json:"requests"`
 	LatencyMs HistogramJSON `json:"latencyMs"`
 	Queue     struct {
@@ -215,6 +223,17 @@ type MetricsSnapshot struct {
 			Miss  int64 `json:"miss"`
 		} `json:"tier"`
 	} `json:"cache"`
+	// Stream summarizes POST /v1/schedule/stream traffic.
+	Stream struct {
+		// Sessions counts streaming sessions that ran (admitted to a
+		// worker); Sealed counts those that reached a clean seal.
+		Sessions int64 `json:"sessions"`
+		Sealed   int64 `json:"sealed"`
+		// Events and Deltas total the events ingested and the re-plan
+		// deltas emitted across all sessions.
+		Events int64 `json:"events"`
+		Deltas int64 `json:"deltas"`
+	} `json:"stream"`
 	// Batch summarizes POST /v1/schedule/batch traffic.
 	Batch struct {
 		// Count is the number of batch requests; Items the total items

@@ -1,0 +1,55 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestFollowerVerdict pins the coalesced-follower error attribution. A
+// follower that parks on a flight whose leader died of cancellation or
+// deadline retries while its own context is live; once its own context
+// has expired the verdict must be the follower's error, not the
+// leader's. The regression: a follower whose own deadline expired while
+// the leader was canceled used to surface the leader's cancellation —
+// answering 503 where the item earned its own 504 (and vice versa).
+func TestFollowerVerdict(t *testing.T) {
+	leaderDead := fmt.Errorf("slow: %w", context.DeadlineExceeded)
+	leaderCanceled := fmt.Errorf("slow: %w", context.Canceled)
+	boom := errors.New("boom")
+	cases := []struct {
+		name      string
+		leaderErr error
+		ctxErr    error
+		retry     bool
+		wantErr   error
+	}{
+		{"leader deadline, follower live", leaderDead, nil, true, nil},
+		{"leader canceled, follower live", leaderCanceled, nil, true, nil},
+		{"leader deadline, follower canceled", leaderDead, context.Canceled, false, context.Canceled},
+		{"leader canceled, follower deadline", leaderCanceled, context.DeadlineExceeded, false, context.DeadlineExceeded},
+		{"leader deadline, follower deadline", leaderDead, context.DeadlineExceeded, false, context.DeadlineExceeded},
+		{"leader real error, follower live", boom, nil, false, boom},
+		{"leader real error, follower dead", boom, context.DeadlineExceeded, false, boom},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			retry, err := followerVerdict(tc.leaderErr, tc.ctxErr)
+			if retry != tc.retry {
+				t.Fatalf("retry = %v, want %v", retry, tc.retry)
+			}
+			if retry {
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			// The item's own context error must come back verbatim — it is
+			// what statusFor and the deadline message report.
+			if tc.ctxErr != nil && tc.leaderErr != boom && err != tc.ctxErr {
+				t.Fatalf("err = %v, want the follower's own %v", err, tc.ctxErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package stream
+
+import (
+	"testing"
+
+	"dagsched/internal/platform"
+)
+
+// BenchmarkStreamAppend measures end-to-end event ingestion: a 2000-task
+// log replayed through the incremental engine, auto-flushing every 32
+// events. The per-op metric is the whole replay; events/sec is reported
+// alongside.
+func BenchmarkStreamAppend(b *testing.B) {
+	in := streamInstance(b, 42, 2000, 8)
+	evs, err := InstanceEvents(in, arrivalOrders(in, 0)["topo"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Algorithm: "HEFT", Sys: platform.Homogeneous(8, 1, 1), BatchSize: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Replay(cfg, evs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(evs)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkStreamAppendFullRecompute is the baseline the incremental
+// engine is measured against: every flush re-plans from scratch.
+func BenchmarkStreamAppendFullRecompute(b *testing.B) {
+	in := streamInstance(b, 42, 2000, 8)
+	evs, err := InstanceEvents(in, arrivalOrders(in, 0)["topo"])
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{Algorithm: "HEFT", Sys: platform.Homogeneous(8, 1, 1), BatchSize: 32, FullRecompute: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Replay(cfg, evs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(evs)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
