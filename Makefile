@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent bench-smoke fuzz-smoke scale service-bench stream-bench ci
+.PHONY: all build vet test race race-concurrent cluster-chaos bench-smoke fuzz-smoke scale service-bench stream-bench ci
 
 all: build
 
@@ -32,7 +32,10 @@ race:
 # experiment repetition worker pool, the schedd service (worker pool,
 # cache, graceful shutdown, singleflight coalescing, the batch fan-out
 # and the 3-node consistent-hash ring e2e — forwarding, peer-cache
-# probes, failover), the speculative-transaction layer (including
+# probes, failover, plus the dynamic-membership layer: heartbeat
+# failure detection, cache replication with hinted handoff, the
+# kill/restart/rejoin e2e and join/leave churn racing in-flight
+# batches), the speculative-transaction layer (including
 # cloned comm-state trials under contended models), the ILS trial
 # machinery, the contention-aware wrappers, the differential suite
 # with the per-processor trial workers forced on (and the parallel
@@ -46,6 +49,14 @@ race:
 # interleavings differ between passes.
 race-concurrent:
 	$(GO) test -race -count=1 ./internal/experiment/... ./internal/service/... ./internal/stream ./internal/sched ./internal/sched/timeline ./internal/dag ./internal/algo/suite ./internal/core ./internal/algo/contention ./internal/sim ./internal/algo/resched ./internal/adversary
+
+# Chaos tier: the kill/restart/rejoin e2e repeated under the race
+# detector with fresh process state each run, so detector timings,
+# replication pushes and rejoin sweeps interleave differently every
+# time. CHAOS_RUNS overrides the repetition count.
+CHAOS_RUNS ?= 5
+cluster-chaos:
+	$(GO) test -race -count=$(CHAOS_RUNS) -run 'TestClusterKillRestartRejoin|TestChurnDuringBatchProperty' ./internal/service
 
 # One iteration of the scheduler-throughput benchmark at every size,
 # plus the transaction-layer micro-benchmarks (trial begin/rollback,
@@ -67,6 +78,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReadGraphJSON -fuzztime 5s .
 	$(GO) test -run '^$$' -fuzz FuzzScheduleRequest -fuzztime 5s ./internal/service
 	$(GO) test -run '^$$' -fuzz FuzzStreamEvents -fuzztime 5s ./internal/service
+	$(GO) test -run '^$$' -fuzz FuzzRingMessages -fuzztime 5s ./internal/service
 	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 5s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzSpec -fuzztime 5s ./internal/adversary
 

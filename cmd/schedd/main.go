@@ -10,14 +10,24 @@
 //	schedd -timeout 10s -max-timeout 1m     # tighter deadlines
 //	schedd -cache 0                         # disable the result cache
 //
-// A static cluster shards its cache over a consistent-hash ring: start
-// every node with the same -peers list and its own -self URL, e.g.
+// A cluster shards its cache over a consistent-hash ring: start every
+// node with the same -peers list and its own -self URL, e.g.
 //
 //	schedd -addr :8080 -self http://10.0.0.1:8080 \
 //	    -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080
 //
-// SIGINT/SIGTERM shut the server down gracefully, draining in-flight
-// requests for up to -drain before exiting.
+// Membership is dynamic after that: nodes heartbeat each other, mark
+// silent peers suspect then dead (resharding around them), and a new
+// or restarted node joins a running ring through any live member:
+//
+//	schedd -addr :8084 -self http://10.0.0.4:8084 -join http://10.0.0.1:8080
+//
+// Cached results are replicated to -replication ring successors, so a
+// node's death does not cold-start its keyspace.
+//
+// SIGINT/SIGTERM shut the server down gracefully: the node announces
+// its leave to the ring, hands its hottest cache entries to their new
+// owners, then drains in-flight requests for up to -drain.
 package main
 
 import (
@@ -43,8 +53,13 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 		batchMax   = flag.Int("batch-max", 0, "max items per batch request (0 = default 256)")
-		self       = flag.String("self", "", "this node's base URL on the ring (required with -peers)")
+		self       = flag.String("self", "", "this node's base URL on the ring (required with -peers or -join)")
 		peersCSV   = flag.String("peers", "", "comma-separated base URLs of all ring members, self included")
+		join       = flag.String("join", "", "base URL of a live ring member to join (alternative to -peers)")
+		replicas   = flag.Int("replication", 2, "cache replicas pushed to ring successors (0 disables)")
+		heartbeat  = flag.Duration("heartbeat", 500*time.Millisecond, "membership heartbeat interval")
+		suspect    = flag.Duration("suspect-after", 2*time.Second, "silence before a peer is suspected (dead at twice this)")
+		probeTO    = flag.Duration("probe-timeout", 0, "peer cache-probe and replica-push timeout (0 = default 500ms)")
 	)
 	flag.Parse()
 
@@ -56,18 +71,26 @@ func main() {
 	}
 
 	opts := dagsched.ServiceOptions{
-		Addr:           *addr,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cache,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBatchItems:  *batchMax,
-		SelfURL:        strings.TrimRight(*self, "/"),
-		Peers:          peers,
+		Addr:              *addr,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cache,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxBatchItems:     *batchMax,
+		SelfURL:           strings.TrimRight(*self, "/"),
+		Peers:             peers,
+		JoinURL:           strings.TrimRight(*join, "/"),
+		Replication:       *replicas,
+		HeartbeatInterval: *heartbeat,
+		SuspectAfter:      *suspect,
+		ProbeTimeout:      *probeTO,
 	}
 	if opts.CacheSize == 0 {
 		opts.CacheSize = -1 // flag 0 means off; Options treats 0 as default
+	}
+	if opts.Replication == 0 {
+		opts.Replication = -1 // flag 0 means off; Options treats 0 as default
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -76,7 +99,11 @@ func main() {
 	fmt.Fprintf(os.Stderr, "schedd: serving on %s (workers=%d queue=%d cache=%d)\n",
 		*addr, *workers, *queue, *cache)
 	if len(peers) > 1 {
-		fmt.Fprintf(os.Stderr, "schedd: sharding as %s across %d peers\n", opts.SelfURL, len(peers))
+		fmt.Fprintf(os.Stderr, "schedd: sharding as %s across %d peers (replication=%d)\n",
+			opts.SelfURL, len(peers), *replicas)
+	}
+	if opts.JoinURL != "" {
+		fmt.Fprintf(os.Stderr, "schedd: joining ring as %s via %s\n", opts.SelfURL, opts.JoinURL)
 	}
 	if err := dagsched.Serve(ctx, opts, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "schedd: %v\n", err)

@@ -48,34 +48,61 @@ type lruCache struct {
 type cacheEntry struct {
 	key  string
 	resp *ScheduleResponse
+	// replica marks an entry that arrived via a peer's replication
+	// push or cache probe rather than local computation — so a hit on
+	// it is attributable to replication in the tier metrics.
+	replica bool
 }
 
 func newLRUCache(capacity int) *lruCache {
 	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
 }
 
-// Get returns a copy of the cached response marked Cached, or nil.
-func (c *lruCache) Get(key string) *ScheduleResponse {
+// Get returns a copy of the cached response marked Cached (or nil),
+// plus whether the entry was a replication-delivered copy.
+func (c *lruCache) Get(key string) (*ScheduleResponse, bool) {
 	if c.cap <= 0 {
-		return nil
+		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
 		c.misses++
-		return nil
+		return nil, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	cp := *el.Value.(*cacheEntry).resp
+	e := el.Value.(*cacheEntry)
+	cp := *e.resp
 	cp.Cached = true
-	return &cp
+	return &cp, e.replica
 }
 
-// Put stores the response, evicting the least recently used entry when
-// full. The caller must not mutate resp afterwards.
+// Put stores a locally computed response, evicting the least recently
+// used entry when full. The caller must not mutate resp afterwards.
 func (c *lruCache) Put(key string, resp *ScheduleResponse) {
+	c.put(key, resp, false)
+}
+
+// PutReplica stores a replication-delivered copy. An entry this node
+// already computed itself is left alone — local computation is
+// authoritative and its tier attribution must not be downgraded.
+func (c *lruCache) PutReplica(key string, resp *ScheduleResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if ok && !el.Value.(*cacheEntry).replica {
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	c.put(key, resp, true)
+}
+
+func (c *lruCache) put(key string, resp *ScheduleResponse, replica bool) {
 	if c.cap <= 0 {
 		return
 	}
@@ -83,16 +110,40 @@ func (c *lruCache) Put(key string, resp *ScheduleResponse) {
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).resp = resp
+		e := el.Value.(*cacheEntry)
+		e.resp, e.replica = resp, replica
 		return
 	}
-	el := c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	el := c.ll.PushFront(&cacheEntry{key: key, resp: resp, replica: replica})
 	c.byKey[key] = el
 	if c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.byKey, last.Value.(*cacheEntry).key)
 	}
+}
+
+// cacheSnap is one entry of a cache snapshot.
+type cacheSnap struct {
+	key  string
+	resp *ScheduleResponse
+}
+
+// Snapshot returns up to max entries, most recently used first — the
+// order anti-entropy sweeps and leave handoffs want, since the hottest
+// entries are the ones worth re-delivering under a bound.
+func (c *lruCache) Snapshot(max int) []cacheSnap {
+	if c.cap <= 0 || max <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]cacheSnap, 0, min(max, c.ll.Len()))
+	for el := c.ll.Front(); el != nil && len(out) < max; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, cacheSnap{key: e.key, resp: e.resp})
+	}
+	return out
 }
 
 // Stats returns hits, misses and current size.

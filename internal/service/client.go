@@ -29,10 +29,16 @@ type RetryPolicy struct {
 	// attempts per peer; ring failover across peers is separate.
 	MaxAttempts int
 	// BaseBackoff is the first retry delay; each further retry doubles
-	// it up to MaxBackoff, and every delay is jittered to [50%,100%] of
-	// its nominal value (defaults 50ms / 2s).
+	// it up to MaxBackoff, and every delay is drawn uniformly from
+	// (0, nominal] — "full jitter", which decorrelates retry storms far
+	// better than the old [50%,100%] band: after a mass failure the
+	// retries of N clients spread over the whole window instead of
+	// bunching in its upper half (defaults 50ms / 2s).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// Seed fixes the jitter RNG for reproducible backoff sequences in
+	// tests; 0 (the default) seeds from the clock.
+	Seed int64
 	// BreakerThreshold opens a circuit after that many consecutive
 	// server-side failures (default 5); BreakerCooldown is how long it
 	// stays open before one trial request may probe again (default 5s).
@@ -123,8 +129,9 @@ func (c *Client) policy() RetryPolicy {
 	return RetryPolicy{}.withDefaults()
 }
 
-// peerRing lazily builds the client-side ring over Peers. Peers must
-// not change after the first Schedule/ScheduleBatch call.
+// peerRing lazily builds the client-side ring over Peers. Callers must
+// not mutate Peers after the first Schedule/ScheduleBatch call; the
+// client itself swaps the set via RefreshRing, under the lock.
 func (c *Client) peerRing() *hashRing {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -134,14 +141,32 @@ func (c *Client) peerRing() *hashRing {
 	return c.ring
 }
 
-// jitter maps a nominal backoff to a uniform draw in [d/2, d].
+// numPeers reads the current peer count under the lock (RefreshRing
+// may be swapping the set concurrently).
+func (c *Client) numPeers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring != nil {
+		return len(c.ring.peers)
+	}
+	return len(c.Peers)
+}
+
+// jitter maps a nominal backoff to a full-jitter draw: uniform in
+// (0, d]. The nominal value is the ceiling, not the center, so
+// concurrent clients retrying after a shared failure spread across the
+// whole window.
 func (c *Client) jitter(d time.Duration) time.Duration {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+		seed := time.Now().UnixNano()
+		if c.Retry != nil && c.Retry.Seed != 0 {
+			seed = c.Retry.Seed
+		}
+		c.rng = rand.New(rand.NewSource(seed))
 	}
-	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	return 1 + time.Duration(c.rng.Int63n(int64(d)))
 }
 
 // retryable reports whether err is worth another attempt: a 503 (queue
@@ -229,10 +254,85 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out any)
 // anyBase returns BaseURL, or the first peer when only Peers is set —
 // good enough for the read-only endpoints (health, metrics, listings).
 func (c *Client) anyBase() string {
-	if c.BaseURL != "" || len(c.Peers) == 0 {
+	if c.BaseURL != "" {
 		return c.BaseURL
 	}
-	return c.Peers[0]
+	peers := c.RingPeers()
+	if len(peers) == 0 {
+		return ""
+	}
+	return peers[0]
+}
+
+// RingPeers returns the peer set the client currently dispatches over:
+// the Peers it was constructed with, or the membership adopted by the
+// most recent RefreshRing.
+func (c *Client) RingPeers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ring != nil {
+		return append([]string(nil), c.ring.peers...)
+	}
+	return append([]string(nil), c.Peers...)
+}
+
+// RefreshRing asks the cluster for its current membership (GET
+// /v1/ring) and swaps the client-side ring to match, so a long-lived
+// client follows joins, leaves and deaths without reconstruction. The
+// first configured peer to answer wins; members the cluster judges
+// dead are excluded. Called automatically after a dispatch pass fails
+// on every peer, and callable directly after topology changes.
+func (c *Client) RefreshRing(ctx context.Context) error {
+	sources := c.RingPeers()
+	if len(sources) == 0 && c.BaseURL != "" {
+		sources = []string{c.BaseURL}
+	}
+	var lastErr error = errors.New("service: no peers configured")
+	for _, peer := range sources {
+		view, err := c.fetchRing(ctx, peer)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var next []string
+		for _, m := range view.Members {
+			if m.Status != memberDead.String() {
+				next = append(next, m.URL)
+			}
+		}
+		if len(next) == 0 {
+			lastErr = fmt.Errorf("service: peer %s reported an empty ring", peer)
+			continue
+		}
+		c.mu.Lock()
+		c.Peers = next
+		c.ring = newRing(next)
+		c.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("service: ring refresh failed: %w", lastErr)
+}
+
+// fetchRing GETs and validates one peer's /v1/ring view.
+func (c *Client) fetchRing(ctx context.Context, peer string) (RingView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/ring", nil)
+	if err != nil {
+		return RingView{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return RingView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return RingView{}, &StatusError{Method: http.MethodGet, Path: "/v1/ring", Status: resp.StatusCode}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxRingBodyBytes))
+	if err != nil {
+		return RingView{}, err
+	}
+	return decodeRingView(body)
 }
 
 // requestKey digests the scheduling-relevant fields of a request for
@@ -270,7 +370,7 @@ func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleRe
 	if err != nil {
 		return nil, fmt.Errorf("service: encoding request: %w", err)
 	}
-	if len(c.Peers) >= 2 {
+	if c.numPeers() >= 2 {
 		return c.scheduleRing(ctx, pol, &req, data)
 	}
 	if wait, open := c.algBr.allow(req.Algorithm, pol.BreakerThreshold); open {
@@ -288,32 +388,40 @@ func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleRe
 // scheduleRing dispatches one request across the peer ring: owner
 // first, then the ring successors. Each peer gets a single attempt —
 // failover to the next node is the retry — and feeds its per-peer
-// circuit breaker.
+// circuit breaker. A pass that fails on every peer triggers one ring
+// refresh (the configured view may be stale — nodes died, others
+// joined) and one more pass over the refreshed membership.
 func (c *Client) scheduleRing(ctx context.Context, pol RetryPolicy, req *ScheduleRequest, data []byte) (*ScheduleResponse, error) {
-	order := c.peerRing().successors(requestKey(req))
-	var lastErr error
-	for _, peer := range order {
-		if wait, open := c.peerBr.allow(peer, pol.BreakerThreshold); open {
-			if lastErr == nil {
-				lastErr = fmt.Errorf("%w for peer %s (retry after %s)", ErrCircuitOpen, peer, wait.Round(time.Millisecond))
+	key := requestKey(req)
+	for pass := 0; ; pass++ {
+		order := c.peerRing().successors(key)
+		var lastErr error
+		for _, peer := range order {
+			if wait, open := c.peerBr.allow(peer, pol.BreakerThreshold); open {
+				if lastErr == nil {
+					lastErr = fmt.Errorf("%w for peer %s (retry after %s)", ErrCircuitOpen, peer, wait.Round(time.Millisecond))
+				}
+				continue
 			}
+			var out ScheduleResponse
+			err := c.attempt(ctx, peer, http.MethodPost, "/v1/schedule", data, &out)
+			c.peerBr.observe(peer, pol.BreakerThreshold, pol.BreakerCooldown, err)
+			if err == nil {
+				return &out, nil
+			}
+			if !retryable(ctx, err) {
+				return nil, err
+			}
+			lastErr = err
+		}
+		if lastErr == nil {
+			lastErr = errors.New("service: no peers configured")
+		}
+		if pass == 0 && c.RefreshRing(ctx) == nil {
 			continue
 		}
-		var out ScheduleResponse
-		err := c.attempt(ctx, peer, http.MethodPost, "/v1/schedule", data, &out)
-		c.peerBr.observe(peer, pol.BreakerThreshold, pol.BreakerCooldown, err)
-		if err == nil {
-			return &out, nil
-		}
-		if !retryable(ctx, err) {
-			return nil, err
-		}
-		lastErr = err
+		return nil, fmt.Errorf("service: all %d peers failed: %w", len(order), lastErr)
 	}
-	if lastErr == nil {
-		lastErr = errors.New("service: no peers configured")
-	}
-	return nil, fmt.Errorf("service: all %d peers failed: %w", len(order), lastErr)
 }
 
 // ScheduleBatch submits a batch of scheduling requests to
@@ -328,39 +436,46 @@ func (c *Client) ScheduleBatch(ctx context.Context, req BatchRequest) (*BatchRes
 	if err != nil {
 		return nil, fmt.Errorf("service: encoding batch: %w", err)
 	}
-	if len(c.Peers) < 2 {
+	if c.numPeers() < 2 {
 		var out BatchResponse
 		if err := c.doJSONAt(ctx, c.anyBase(), http.MethodPost, "/v1/schedule/batch", data, &out); err != nil {
 			return nil, err
 		}
 		return &out, nil
 	}
-	peers := c.peerRing().peers
-	c.mu.Lock()
-	start := int(c.batchSeq % uint64(len(peers)))
-	c.batchSeq++
-	c.mu.Unlock()
-	var lastErr error
-	for i := 0; i < len(peers); i++ {
-		peer := peers[(start+i)%len(peers)]
-		if _, open := c.peerBr.allow(peer, pol.BreakerThreshold); open {
+	for pass := 0; ; pass++ {
+		peers := c.peerRing().peers
+		c.mu.Lock()
+		start := int(c.batchSeq % uint64(len(peers)))
+		c.batchSeq++
+		c.mu.Unlock()
+		var lastErr error
+		for i := 0; i < len(peers); i++ {
+			peer := peers[(start+i)%len(peers)]
+			if _, open := c.peerBr.allow(peer, pol.BreakerThreshold); open {
+				continue
+			}
+			var out BatchResponse
+			err := c.attempt(ctx, peer, http.MethodPost, "/v1/schedule/batch", data, &out)
+			c.peerBr.observe(peer, pol.BreakerThreshold, pol.BreakerCooldown, err)
+			if err == nil {
+				return &out, nil
+			}
+			if !retryable(ctx, err) {
+				return nil, err
+			}
+			lastErr = err
+		}
+		if lastErr == nil {
+			lastErr = fmt.Errorf("%w for every peer", ErrCircuitOpen)
+		}
+		// Same stale-view escape hatch as scheduleRing: refresh once,
+		// then one more round-robin pass over the new membership.
+		if pass == 0 && c.RefreshRing(ctx) == nil {
 			continue
 		}
-		var out BatchResponse
-		err := c.attempt(ctx, peer, http.MethodPost, "/v1/schedule/batch", data, &out)
-		c.peerBr.observe(peer, pol.BreakerThreshold, pol.BreakerCooldown, err)
-		if err == nil {
-			return &out, nil
-		}
-		if !retryable(ctx, err) {
-			return nil, err
-		}
-		lastErr = err
+		return nil, fmt.Errorf("service: batch failed on all peers: %w", lastErr)
 	}
-	if lastErr == nil {
-		lastErr = fmt.Errorf("%w for every peer", ErrCircuitOpen)
-	}
-	return nil, fmt.Errorf("service: batch failed on all peers: %w", lastErr)
 }
 
 // Health probes /healthz.

@@ -1,0 +1,57 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterFullRange pins the full-jitter contract: every draw lies in
+// (0, d] — the nominal backoff is a ceiling, not a center — and over
+// many draws the low half of the window is actually used, which is the
+// property that decorrelates retry storms (the old [d/2, d] band never
+// drew below 50%).
+func TestJitterFullRange(t *testing.T) {
+	c := &Client{Retry: &RetryPolicy{Seed: 42}}
+	const d = 100 * time.Millisecond
+	low := 0
+	for i := 0; i < 2000; i++ {
+		j := c.jitter(d)
+		if j <= 0 || j > d {
+			t.Fatalf("jitter(%v) = %v, want in (0, %v]", d, j, d)
+		}
+		if j < d/2 {
+			low++
+		}
+	}
+	// A uniform draw lands below d/2 about half the time; anything
+	// remotely close rules out the old half-window behavior.
+	if low < 600 {
+		t.Fatalf("only %d/2000 draws below d/2; distribution is not full-jitter", low)
+	}
+}
+
+// TestJitterSeeded pins reproducibility: two clients with the same
+// RetryPolicy.Seed draw identical backoff sequences, and a different
+// seed diverges.
+func TestJitterSeeded(t *testing.T) {
+	a := &Client{Retry: &RetryPolicy{Seed: 7}}
+	b := &Client{Retry: &RetryPolicy{Seed: 7}}
+	other := &Client{Retry: &RetryPolicy{Seed: 8}}
+	const d = time.Second
+	same, diverged := true, false
+	for i := 0; i < 64; i++ {
+		ja, jb, jo := a.jitter(d), b.jitter(d), other.jitter(d)
+		if ja != jb {
+			same = false
+		}
+		if ja != jo {
+			diverged = true
+		}
+	}
+	if !same {
+		t.Fatal("equal seeds produced different backoff sequences")
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical backoff sequences")
+	}
+}

@@ -129,9 +129,12 @@ func TestMultiNodeForwarding(t *testing.T) {
 
 // TestMultiNodePeerCacheHit pins the middle cache tier: a batch item
 // whose key is owned by another node finds that node's cached result
-// via the /v1/cache probe instead of recomputing.
+// via the /v1/cache probe instead of recomputing. Replication is
+// disabled: a pushed replica would turn the probe into a local hit,
+// which is exactly what this test must not conflate (replica.go has
+// its own tests).
 func TestMultiNodePeerCacheHit(t *testing.T) {
-	servers, urls := startCluster(t, 3, service.Options{Workers: 2, QueueDepth: 32})
+	servers, urls := startCluster(t, 3, service.Options{Workers: 2, QueueDepth: 32, Replication: -1})
 	inst := instanceJSON(t, testfix.Topcuoglu())
 	req := service.ScheduleRequest{Algorithm: "HEFT", Instance: inst}
 
@@ -185,9 +188,11 @@ func TestMultiNodePeerCacheHit(t *testing.T) {
 
 // TestMultiNodeFailover kills a key's owner: surviving nodes must keep
 // answering that key by computing locally after the forward fails, and
-// the failure must surface in their forward metrics.
+// the failure must surface in their forward metrics. Replication is
+// disabled so the forward genuinely fails instead of being served from
+// a local replica (the replicated path is cluster_test.go's job).
 func TestMultiNodeFailover(t *testing.T) {
-	servers, urls := startCluster(t, 3, service.Options{Workers: 2, QueueDepth: 32})
+	servers, urls := startCluster(t, 3, service.Options{Workers: 2, QueueDepth: 32, Replication: -1})
 	inst := instanceJSON(t, testfix.Topcuoglu())
 
 	// Find an algorithm whose key is NOT owned by node 0, so node 0

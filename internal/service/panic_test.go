@@ -32,7 +32,7 @@ func TestInstrumentRecoversPanic(t *testing.T) {
 	if !strings.Contains(rec.Body.String(), id) {
 		t.Fatalf("500 body %q does not carry request ID %q", rec.Body.String(), id)
 	}
-	snap := s.met.Snapshot(0, 0, 0, 0, 0, 0, 0, "", nil)
+	snap := s.met.Snapshot(0, 0, 0, 0, 0, 0, 0, "", nil, ClusterJSON{})
 	if snap.Requests.Panics != 1 {
 		t.Fatalf("panics = %d, want 1", snap.Requests.Panics)
 	}
@@ -62,7 +62,7 @@ func TestInstrumentPanicAfterWrite(t *testing.T) {
 	if got := rec.Body.String(); got != "partial" {
 		t.Fatalf("body %q, want the partial write only", got)
 	}
-	if snap := s.met.Snapshot(0, 0, 0, 0, 0, 0, 0, "", nil); snap.Requests.Panics != 1 {
+	if snap := s.met.Snapshot(0, 0, 0, 0, 0, 0, 0, "", nil, ClusterJSON{}); snap.Requests.Panics != 1 {
 		t.Fatalf("panics = %d, want 1", snap.Requests.Panics)
 	}
 }

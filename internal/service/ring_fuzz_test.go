@@ -1,0 +1,75 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRingMessages asserts the membership wire decoders never panic and
+// never accept a value the member table could not safely hold: every
+// URL that survives decoding must be a bare normalized http(s) base URL
+// (re-normalizing it is the identity), every status must be a known
+// label, member lists stay within maxRingMembers, and duplicate URLs
+// collapse. These decoders face the network — a hostile or corrupted
+// join body must fail closed, not poison the ring.
+func FuzzRingMessages(f *testing.F) {
+	seeds := []string{
+		`{"url":"http://10.0.0.1:8080"}`,
+		`{"url":"https://node-3.cluster:9000/"}`,
+		`{"url":""}`,
+		`{"url":"ftp://x"}`,
+		`{"url":"http://u:p@h:1"}`,
+		`{"self":"http://a:1","epoch":3,"replication":2,"members":[{"url":"http://a:1","status":"alive"},{"url":"http://b:2","status":"suspect"}]}`,
+		`{"members":[{"url":"http://b:2","status":"dead"},{"url":"http://b:2/","status":"alive"}]}`,
+		`{"members":[{"url":"http://b:2","status":"zombie"}]}`,
+		`{"replication":-1}`,
+		`{"epoch":18446744073709551615}`,
+		`[]`,
+		`{`,
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if msg, err := decodeRingMessage(data); err == nil {
+			if got, nerr := normalizePeerURL(msg.URL); nerr != nil || got != msg.URL {
+				t.Fatalf("decodeRingMessage accepted non-normal URL %q (renorm: %q, %v)", msg.URL, got, nerr)
+			}
+		}
+		view, err := decodeRingView(data)
+		if err != nil {
+			return
+		}
+		if len(view.Members) > maxRingMembers {
+			t.Fatalf("decodeRingView accepted %d members", len(view.Members))
+		}
+		if view.Replication < 0 || view.Replication > maxRingMembers {
+			t.Fatalf("decodeRingView accepted replication %d", view.Replication)
+		}
+		if view.Self != "" {
+			if got, nerr := normalizePeerURL(view.Self); nerr != nil || got != view.Self {
+				t.Fatalf("decodeRingView accepted non-normal self %q", view.Self)
+			}
+		}
+		seen := make(map[string]bool, len(view.Members))
+		for _, m := range view.Members {
+			if got, nerr := normalizePeerURL(m.URL); nerr != nil || got != m.URL {
+				t.Fatalf("decodeRingView accepted non-normal member URL %q", m.URL)
+			}
+			if len(m.URL) > maxPeerURLLen {
+				t.Fatalf("decodeRingView accepted %d-byte URL", len(m.URL))
+			}
+			if _, ok := statusFromString(m.Status); !ok {
+				t.Fatalf("decodeRingView accepted unknown status %q", m.Status)
+			}
+			if seen[m.URL] {
+				t.Fatalf("decodeRingView kept duplicate member %q", m.URL)
+			}
+			seen[m.URL] = true
+			if strings.HasSuffix(m.URL, "/") {
+				t.Fatalf("decodeRingView kept trailing slash on %q", m.URL)
+			}
+		}
+	})
+}

@@ -79,8 +79,26 @@ type Options struct {
 	// can instead call Server.ConfigurePeers after Start, once
 	// ephemeral addresses are known.
 	Peers []string
-	// ProbeTimeout bounds one peer-cache probe (default 500ms).
+	// ProbeTimeout bounds one peer-cache probe and one replica push
+	// (default 500ms).
 	ProbeTimeout time.Duration
+	// JoinURL, when set, points a fresh node at any member of a running
+	// ring: instead of a static Peers list the node announces itself to
+	// that member at startup (retrying until it answers) and adopts the
+	// cluster view it returns. Requires SelfURL.
+	JoinURL string
+	// Replication is the number of ring successors each cache entry is
+	// replicated to beyond its owner (default 2): a computed result is
+	// pushed to the key's successor nodes so an owner's death does not
+	// cold-start its keyspace. Negative disables replication.
+	Replication int
+	// HeartbeatInterval paces the membership heartbeat/failure-detector
+	// loop (default 500ms).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is how long a peer may miss heartbeats before it is
+	// marked suspect; after twice this it is marked dead and removed
+	// from the ring (default 2s).
+	SuspectAfter time.Duration
 	// Resolver maps an algorithm name to an implementation (default
 	// suite.ByName — the full registry including the search lineup).
 	Resolver func(name string) (algo.Algorithm, error)
@@ -119,6 +137,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProbeTimeout <= 0 {
 		o.ProbeTimeout = 500 * time.Millisecond
+	}
+	if o.Replication == 0 {
+		o.Replication = 2
+	}
+	if o.Replication < 0 {
+		o.Replication = 0
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 2 * time.Second
 	}
 	if o.Resolver == nil {
 		o.Resolver = suite.ByName
@@ -163,8 +193,15 @@ type Server struct {
 	cache    *lruCache
 	flights  *flightGroup
 	shard    shardPtr // nil load = sharding off
-	met      *serverMetrics
-	reqSeq   atomic.Uint64
+	member   *membership
+	repl     *replicator
+	// peerBrk and peerClient outlive ring swaps: circuit state about a
+	// flaky peer must survive a membership epoch change, and pooled
+	// connections have no reason to be torn down by a reshard.
+	peerBrk    *breakerSet
+	peerClient *http.Client
+	met        *serverMetrics
+	reqSeq     atomic.Uint64
 }
 
 // reqIDKey carries the request ID through the request context so worker
@@ -179,18 +216,25 @@ func (s *Server) nextReqID() string {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		jobs:    make(chan *job, opts.QueueDepth),
-		quit:    make(chan struct{}),
-		cache:   newLRUCache(opts.CacheSize),
-		flights: newFlightGroup(),
-		met:     newServerMetrics(),
+		opts:       opts,
+		jobs:       make(chan *job, opts.QueueDepth),
+		quit:       make(chan struct{}),
+		cache:      newLRUCache(opts.CacheSize),
+		flights:    newFlightGroup(),
+		peerBrk:    &breakerSet{},
+		peerClient: &http.Client{},
+		met:        newServerMetrics(),
 	}
+	s.member = newMembership(s)
+	s.repl = newReplicator(s)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	mux.HandleFunc("/v1/schedule/batch", s.handleBatch)
 	mux.HandleFunc("/v1/schedule/stream", s.handleStream)
 	mux.HandleFunc("/v1/cache/", s.handleCache)
+	mux.HandleFunc("/v1/ring", s.handleRing)
+	mux.HandleFunc("/v1/ring/join", s.handleRingJoin)
+	mux.HandleFunc("/v1/ring/leave", s.handleRingLeave)
 	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -201,7 +245,14 @@ func New(opts Options) *Server {
 // Start listens on opts.Addr, launches the worker pool and serves in the
 // background. It returns the bound address (useful with port 0).
 func (s *Server) Start() (string, error) {
-	if err := s.ConfigurePeers(s.opts.SelfURL, s.opts.Peers); err != nil {
+	if s.opts.JoinURL != "" {
+		if len(s.opts.Peers) > 0 {
+			return "", fmt.Errorf("service: JoinURL and Peers are mutually exclusive")
+		}
+		if err := s.ConfigureJoin(s.opts.SelfURL, s.opts.JoinURL); err != nil {
+			return "", err
+		}
+	} else if err := s.ConfigurePeers(s.opts.SelfURL, s.opts.Peers); err != nil {
 		return "", err
 	}
 	ln, err := net.Listen("tcp", s.opts.Addr)
@@ -230,9 +281,42 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// Leave withdraws this node from the ring gracefully: announce the
+// leave to every member (so they reshard immediately instead of
+// waiting out the failure detector), then hand the hottest cache
+// entries to their owners under the post-leave ring — the nodes that
+// inherit our arcs. Best-effort and bounded by ctx; a crash — i.e.
+// Shutdown without Leave — is exactly the path the detector covers.
+// Safe to call more than once.
+func (s *Server) Leave(ctx context.Context) {
+	sh := s.shard.Load()
+	s.member.leave() // announces to peers; marks left so heartbeats stop
+	if sh == nil {
+		return
+	}
+	// The post-leave ring: everyone but us. Entries we hand off go to
+	// the node that owns them now that our arcs are redistributed.
+	after := make([]string, 0, len(sh.peers))
+	for _, p := range sh.peers {
+		if p != sh.self {
+			after = append(after, p)
+		}
+	}
+	s.repl.handoffOnLeave(ctx, &shardState{
+		self:         sh.self,
+		ring:         newRing(after),
+		peers:        after,
+		brk:          sh.brk,
+		client:       sh.client,
+		probeTimeout: sh.probeTimeout,
+	})
+}
+
 // Shutdown drains the server gracefully: the listener closes, in-flight
 // requests (and the queued work they wait on) run to completion bounded
 // by ctx, then the worker pool exits. Safe to call more than once.
+// Shutdown alone is a crash as far as the ring is concerned — peers
+// detect the death and reshard; call Leave first for a clean departure.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	// All handlers have returned (or ctx expired); tell the pool to
@@ -257,6 +341,7 @@ func Serve(ctx context.Context, opts Options, drain time.Duration) error {
 	}
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
+	s.Leave(dctx) // announce departure + hand off hot entries, then drain
 	return s.Shutdown(dctx)
 }
 
@@ -350,6 +435,7 @@ func (s *Server) run(j *job) (res jobResult) {
 	}
 	s.met.ObserveRun(resp.Algorithm, resp.Makespan, resp.RuntimeMs)
 	s.cache.Put(j.key, resp)
+	s.replicate(j.key, resp)
 	return jobResult{resp: resp}
 }
 
@@ -500,7 +586,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if sh := s.shard.Load(); sh != nil {
 		self, peers = sh.self, sh.peers
 	}
-	snap := s.met.Snapshot(len(s.jobs), cap(s.jobs), s.opts.Workers, hits, misses, size, s.opts.CacheSize, self, peers)
+	cl := ClusterJSON{
+		Enabled:     s.shard.Load() != nil,
+		Self:        s.member.selfURL(),
+		Replication: s.opts.Replication,
+		Members:     s.member.view().Members,
+	}
+	cl.Alive, cl.Suspect, cl.Dead, cl.Epoch = s.member.counts()
+	s.repl.mu.Lock()
+	cl.Handoff.Pending = len(s.repl.queue)
+	s.repl.mu.Unlock()
+	snap := s.met.Snapshot(len(s.jobs), cap(s.jobs), s.opts.Workers, hits, misses, size, s.opts.CacheSize, self, peers, cl)
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -740,21 +836,26 @@ func (s *Server) statusFor(err error, timeout time.Duration) (int, string) {
 func (s *Server) scheduleLocal(ctx context.Context, reqID string, it parsedItem, probePeer, block bool) (*ScheduleResponse, error) {
 	probe := probePeer
 	for {
-		if resp := s.cache.Get(it.key); resp != nil {
-			s.met.ObserveTier(tierLocal)
+		if resp, replica := s.cache.Get(it.key); resp != nil {
+			if replica {
+				s.met.ObserveTier(tierReplica)
+			} else {
+				s.met.ObserveTier(tierLocal)
+			}
 			return resp, nil
 		}
 		if probe {
 			probe = false
-			if sh := s.shard.Load(); sh != nil {
-				if owner := sh.ring.owner(it.key); owner != sh.self {
-					if resp := s.probePeerCache(ctx, sh, owner, it.key); resp != nil {
-						s.met.ObserveTier(tierPeer)
-						s.cache.Put(it.key, resp)
-						cp := *resp
-						cp.Cached = true
-						return &cp, nil
-					}
+			// Only when another node owns the key: an owner with a cold
+			// cache computes rather than burning a probe round-trip per
+			// successor (the anti-entropy sweep re-warms a rejoined owner).
+			if sh := s.shard.Load(); sh != nil && sh.ring.owner(it.key) != sh.self {
+				if resp := s.probeReplicas(ctx, sh, it.key, ""); resp != nil {
+					s.met.ObserveTier(tierPeer)
+					s.cache.PutReplica(it.key, resp)
+					cp := *resp
+					cp.Cached = true
+					return &cp, nil
 				}
 			}
 		}
@@ -852,14 +953,29 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			// Not ours: serve a local copy if we happen to hold one,
 			// otherwise forward to the owner (whose cache is the
 			// authoritative tier for this key). A failed forward falls
-			// through to computing here — availability over placement.
-			if resp := s.cache.Get(key); resp != nil {
-				s.met.ObserveTier(tierLocal)
+			// through the key's replica holders — a dead owner's
+			// keyspace lives on at its successors — and only then to
+			// computing here: availability over placement.
+			if resp, replica := s.cache.Get(key); resp != nil {
+				if replica {
+					s.met.ObserveTier(tierReplica)
+				} else {
+					s.met.ObserveTier(tierLocal)
+				}
 				w.Header().Set(hdrServedBy, sh.self)
 				writeJSON(w, http.StatusOK, resp)
 				return
 			}
 			if s.tryForward(ctx, w, sh, owner, body) {
+				return
+			}
+			if resp := s.probeReplicas(ctx, sh, key, owner); resp != nil {
+				s.met.ObserveTier(tierPeer)
+				s.cache.PutReplica(key, resp)
+				cp := *resp
+				cp.Cached = true
+				w.Header().Set(hdrServedBy, sh.self)
+				writeJSON(w, http.StatusOK, &cp)
 				return
 			}
 		}

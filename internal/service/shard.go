@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -53,33 +52,20 @@ type shardPtr = atomic.Pointer[shardState]
 
 // ConfigurePeers places this node on a consistent-hash ring with
 // peers (base URLs, self included). Fewer than two distinct peers
-// disables sharding. Safe to call while serving: in-flight requests
-// finish under the configuration they started with.
+// leaves the node standalone. Safe to call while serving: in-flight
+// requests finish under the configuration they started with. The
+// static list is only the starting membership — once configured, the
+// heartbeat loop and the /v1/ring surface let nodes join, leave, die
+// and rejoin without reconfiguring anything (see member.go).
 func (s *Server) ConfigurePeers(self string, peers []string) error {
-	ring := newRing(peers)
-	if ring.size() < 2 {
-		s.shard.Store(nil)
-		return nil
-	}
-	if self == "" {
-		return fmt.Errorf("service: peers configured but self URL empty")
-	}
-	found := false
-	for _, p := range ring.peers {
-		found = found || p == self
-	}
-	if !found {
-		return fmt.Errorf("service: self URL %q not in peer list %v", self, ring.peers)
-	}
-	s.shard.Store(&shardState{
-		self:         self,
-		ring:         ring,
-		peers:        ring.peers,
-		brk:          &breakerSet{},
-		client:       &http.Client{},
-		probeTimeout: s.opts.ProbeTimeout,
-	})
-	return nil
+	return s.member.configureStatic(self, peers)
+}
+
+// ConfigureJoin points this node at a running ring member instead of a
+// static peer list: the membership loop announces the join to seed
+// (retrying until it answers) and adopts the cluster view it returns.
+func (s *Server) ConfigureJoin(self, seed string) error {
+	return s.member.configureJoin(self, seed)
 }
 
 // tryForward relays a /v1/schedule request body to the owning peer and
@@ -126,9 +112,11 @@ func (s *Server) tryForward(ctx context.Context, w http.ResponseWriter, sh *shar
 	return true
 }
 
-// probePeerCache asks the owning peer whether it already has key's
-// result — a cheap GET against its cache, never a computation. Any
-// failure (circuit open, timeout, malformed body) degrades to a miss.
+// probePeerCache asks one peer whether it already has key's result — a
+// cheap GET against its cache, never a computation. Any failure
+// (circuit open, timeout, malformed body) degrades to a miss; timeouts
+// are counted separately from true misses, since a fleet whose probes
+// time out needs a bigger -probe-timeout, not a warmer cache.
 func (s *Server) probePeerCache(ctx context.Context, sh *shardState, owner, key string) *ScheduleResponse {
 	if _, open := sh.brk.allow(owner, forwardBreakerThreshold); open {
 		return nil
@@ -141,6 +129,11 @@ func (s *Server) probePeerCache(ctx context.Context, sh *shardState, owner, key 
 	}
 	resp, err := sh.client.Do(req)
 	if err != nil {
+		if pctx.Err() != nil && ctx.Err() == nil {
+			s.met.ObserveProbe(probeTimeout)
+		} else {
+			s.met.ObserveProbe(probeError)
+		}
 		sh.brk.observe(owner, forwardBreakerThreshold, forwardBreakerCooldown, err)
 		return nil
 	}
@@ -150,36 +143,81 @@ func (s *Server) probePeerCache(ctx context.Context, sh *shardState, owner, key 
 		var obs error // a 404 means healthy-but-cold, not broken
 		if resp.StatusCode != http.StatusNotFound {
 			obs = &StatusError{Method: http.MethodGet, Path: "/v1/cache/", Status: resp.StatusCode}
+			s.met.ObserveProbe(probeError)
+		} else {
+			s.met.ObserveProbe(probeMiss)
 		}
 		sh.brk.observe(owner, forwardBreakerThreshold, forwardBreakerCooldown, obs)
 		return nil
 	}
 	sh.brk.observe(owner, forwardBreakerThreshold, forwardBreakerCooldown, nil)
 	var out ScheduleResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, s.opts.MaxBodyBytes)).Decode(&out); err != nil {
+		s.met.ObserveProbe(probeError)
 		return nil
 	}
+	s.met.ObserveProbe(probeHit)
 	return &out
 }
 
-// handleCache serves GET /v1/cache/{hash}: the peer-cache probe. It
-// only ever reads this node's LRU — a probe can never trigger a
-// computation, which is what keeps the tiered lookup cheap.
-func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
+// probeReplicas walks key's holder set — owner first, then its
+// replication successors — probing each peer's cache until one
+// answers. With replication disabled the set is just the owner, which
+// is exactly the PR 8 lookup; with it, a dead owner's keyspace is
+// still one probe away at its successors. skip names a peer to leave
+// out (e.g. an owner a forward just failed against).
+func (s *Server) probeReplicas(ctx context.Context, sh *shardState, key, skip string) *ScheduleResponse {
+	for _, peer := range replicaHolders(sh, key, s.opts.Replication) {
+		if peer == sh.self || peer == skip {
+			continue
+		}
+		if resp := s.probePeerCache(ctx, sh, peer, key); resp != nil {
+			return resp
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
 	}
+	return nil
+}
+
+// handleCache serves the peer-cache surface:
+//
+//	GET /v1/cache/{hash} — the probe. Only ever reads this node's LRU;
+//	a probe can never trigger a computation, which is what keeps the
+//	tiered lookup cheap.
+//	PUT /v1/cache/{hash} — a replication push or handoff: the body (a
+//	ScheduleResponse) is stored as a replica copy.
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	key := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
 	if !validCacheKey(key) {
 		writeError(w, http.StatusBadRequest, "malformed cache key")
 		return
 	}
-	if resp := s.cache.Get(key); resp != nil {
-		writeJSON(w, http.StatusOK, resp)
-		return
+	switch r.Method {
+	case http.MethodGet:
+		if resp, _ := s.cache.Get(key); resp != nil {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		writeError(w, http.StatusNotFound, "not cached")
+	case http.MethodPut:
+		var resp ScheduleResponse
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)).Decode(&resp); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding replica entry: %v", err)
+			return
+		}
+		if resp.Algorithm == "" {
+			writeError(w, http.StatusBadRequest, "replica entry missing algorithm")
+			return
+		}
+		resp.Cached, resp.Coalesced = false, false
+		s.cache.PutReplica(key, &resp)
+		s.met.ObserveReplicaStore()
+		writeJSON(w, http.StatusOK, map[string]string{"status": "stored"})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or PUT only")
 	}
-	writeError(w, http.StatusNotFound, "not cached")
 }
 
 // validCacheKey recognises the sha256-hex form cacheKey produces.

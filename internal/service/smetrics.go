@@ -18,13 +18,34 @@ var latencyBucketsMs = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000
 var batchSizeBuckets = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // Cache tiers a scheduling item can be served from: this node's own
-// LRU, the owning peer's LRU (via the cache probe), or neither — a
-// miss that goes to the worker pool.
+// LRU, a replication-delivered copy already sitting in that LRU, the
+// owning peer's LRU (via the cache probe), or none of those — a miss
+// that goes to the worker pool.
 const (
 	tierLocal = iota
+	tierReplica
 	tierPeer
 	tierMiss
 	numTiers
+)
+
+// Cache-probe outcomes. Timeouts are distinct from misses: a fleet
+// whose probes time out needs a bigger -probe-timeout, not a warmer
+// cache.
+const (
+	probeHit = iota
+	probeMiss
+	probeTimeout
+	probeError
+	numProbeOutcomes
+)
+
+// Hinted-handoff queue events.
+const (
+	handoffQueued = iota
+	handoffDelivered
+	handoffDropped
+	numHandoffEvents
 )
 
 // serverMetrics aggregates the observability state of one Server. All
@@ -45,8 +66,18 @@ type serverMetrics struct {
 	streamSealed   int64
 	streamEvents   int64
 	streamDeltas   int64
-	// Cache tier outcomes, indexed by tierLocal/tierPeer/tierMiss.
+	// Cache tier outcomes, indexed by the tier* constants.
 	tiers [numTiers]int64
+	// Peer cache-probe outcomes, indexed by the probe* constants.
+	probes [numProbeOutcomes]int64
+	// Replication traffic: outgoing push attempts and incoming stores.
+	replPushes    int64
+	replPushFails int64
+	replStores    int64
+	// Hinted-handoff queue events, indexed by the handoff* constants,
+	// plus entries queued by anti-entropy sweeps.
+	handoffs    [numHandoffEvents]int64
+	sweepQueued int64
 	// Batch endpoint: request count, total items, size histogram.
 	batchCount  int64
 	batchItems  int64
@@ -130,6 +161,44 @@ func (m *serverMetrics) ObserveTier(tier int) {
 	m.tiers[tier]++
 }
 
+// ObserveProbe records one peer cache-probe outcome.
+func (m *serverMetrics) ObserveProbe(outcome int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.probes[outcome]++
+}
+
+// ObserveReplicaPush records one outgoing replica-push attempt.
+func (m *serverMetrics) ObserveReplicaPush(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replPushes++
+	if !ok {
+		m.replPushFails++
+	}
+}
+
+// ObserveReplicaStore records one incoming replica entry accepted.
+func (m *serverMetrics) ObserveReplicaStore() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replStores++
+}
+
+// ObserveHandoff records one hinted-handoff queue event.
+func (m *serverMetrics) ObserveHandoff(event int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handoffs[event]++
+}
+
+// ObserveSweep records n entries queued by one anti-entropy sweep.
+func (m *serverMetrics) ObserveSweep(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepQueued += int64(n)
+}
+
 // ObserveBatch records one batch request of the given size.
 func (m *serverMetrics) ObserveBatch(size int) {
 	m.mu.Lock()
@@ -178,9 +247,11 @@ func statsJSON(a *metrics.Accumulator) StatsJSON {
 	return s
 }
 
-// Snapshot renders the metrics; queue, cache and shard figures are
-// supplied by the server, which owns those structures.
-func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, cacheMisses int64, cacheSize, cacheCap int, self string, peers []string) MetricsSnapshot {
+// Snapshot renders the metrics; queue, cache, shard and cluster
+// figures are supplied by the server, which owns those structures
+// (the cluster block arrives pre-filled with membership state and
+// Snapshot adds the replication/handoff counters it owns).
+func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, cacheMisses int64, cacheSize, cacheCap int, self string, peers []string, cluster ClusterJSON) MetricsSnapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var out MetricsSnapshot
@@ -215,6 +286,7 @@ func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, c
 	out.Cache.Size = cacheSize
 	out.Cache.Capacity = cacheCap
 	out.Cache.Tier.Local = m.tiers[tierLocal]
+	out.Cache.Tier.Replica = m.tiers[tierReplica]
 	out.Cache.Tier.Peer = m.tiers[tierPeer]
 	out.Cache.Tier.Miss = m.tiers[tierMiss]
 	out.Batch.Count = m.batchCount
@@ -236,6 +308,18 @@ func (m *serverMetrics) Snapshot(queueDepth, queueCap, workers int, cacheHits, c
 	for p, n := range m.forwardFails {
 		out.Shard.ForwardFailures[p] = n
 	}
+	out.Shard.Probe.Hits = m.probes[probeHit]
+	out.Shard.Probe.Misses = m.probes[probeMiss]
+	out.Shard.Probe.Timeouts = m.probes[probeTimeout]
+	out.Shard.Probe.Errors = m.probes[probeError]
+	out.Cluster = cluster
+	out.Cluster.Replica.Pushes = m.replPushes
+	out.Cluster.Replica.PushFailures = m.replPushFails
+	out.Cluster.Replica.Stores = m.replStores
+	out.Cluster.Replica.SweepQueued = m.sweepQueued
+	out.Cluster.Handoff.Queued = m.handoffs[handoffQueued]
+	out.Cluster.Handoff.Delivered = m.handoffs[handoffDelivered]
+	out.Cluster.Handoff.Dropped = m.handoffs[handoffDropped]
 	out.Algorithms = make(map[string]AlgorithmStats, len(m.algCount))
 	for name, n := range m.algCount {
 		out.Algorithms[name] = AlgorithmStats{

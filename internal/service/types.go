@@ -187,6 +187,70 @@ type errorJSON struct {
 	Error string `json:"error"`
 }
 
+// RingView is the body of GET /v1/ring (and of join responses): one
+// node's current view of cluster membership. It doubles as the
+// heartbeat payload — heartbeating peers merge the members they did
+// not know, which is how views spread without a dedicated gossip
+// channel.
+type RingView struct {
+	// Self is the responding node's ring identity (its base URL).
+	Self string `json:"self"`
+	// Epoch counts this node's membership changes; it is a local
+	// monotonic counter, not a cluster-wide consensus value.
+	Epoch uint64 `json:"epoch"`
+	// Replication is the node's configured successor-replica count.
+	Replication int `json:"replication"`
+	// Members lists every member this node knows (itself included)
+	// with its locally judged status: "alive", "suspect" or "dead".
+	Members []MemberJSON `json:"members"`
+}
+
+// MemberJSON is one member of a RingView.
+type MemberJSON struct {
+	URL    string `json:"url"`
+	Status string `json:"status"`
+}
+
+// ClusterJSON is the cluster block of GET /metrics: membership state
+// plus replication and hinted-handoff traffic.
+type ClusterJSON struct {
+	// Enabled reports whether this node is currently sharding (two or
+	// more live ring members).
+	Enabled bool `json:"enabled"`
+	// Self is this node's ring identity ("" when never clustered).
+	Self string `json:"self,omitempty"`
+	// Epoch is the membership epoch (bumps on every ring swap).
+	Epoch uint64 `json:"epoch"`
+	// Replication is the configured successor-replica count.
+	Replication int `json:"replication"`
+	// Alive/Suspect/Dead count peers by detector verdict (self excluded).
+	Alive   int `json:"alive"`
+	Suspect int `json:"suspect"`
+	Dead    int `json:"dead"`
+	// Members is the full member table with statuses, self included.
+	Members []MemberJSON `json:"members,omitempty"`
+	// Replica counts replication-push traffic: Pushes/PushFailures are
+	// outgoing PUT attempts, Stores are incoming entries accepted.
+	Replica struct {
+		Pushes       int64 `json:"pushes"`
+		PushFailures int64 `json:"pushFailures"`
+		Stores       int64 `json:"stores"`
+		// SweepQueued counts entries queued by anti-entropy sweeps
+		// toward joining/rejoining peers.
+		SweepQueued int64 `json:"sweepQueued"`
+	} `json:"replica"`
+	// Handoff counts the hinted-handoff queue's lifecycle: writes
+	// queued for a down peer, re-delivered once it returned, dropped
+	// after exhausting retries (or queue overflow), and the current
+	// queue length.
+	Handoff struct {
+		Queued    int64 `json:"queued"`
+		Delivered int64 `json:"delivered"`
+		Dropped   int64 `json:"dropped"`
+		Pending   int   `json:"pending"`
+	} `json:"handoff"`
+}
+
 // MetricsSnapshot is the body of GET /metrics.
 type MetricsSnapshot struct {
 	UptimeSec float64 `json:"uptimeSec"`
@@ -215,12 +279,14 @@ type MetricsSnapshot struct {
 		Size     int     `json:"size"`
 		Capacity int     `json:"capacity"`
 		// Tier breaks scheduling items down by where they were served
-		// from: this node's LRU, the owning peer's LRU (via the cache
-		// probe), or a miss that went to the worker pool.
+		// from: this node's LRU, a replication-delivered copy in that
+		// LRU, the owning peer's LRU (via the cache probe), or a miss
+		// that went to the worker pool.
 		Tier struct {
-			Local int64 `json:"local"`
-			Peer  int64 `json:"peer"`
-			Miss  int64 `json:"miss"`
+			Local   int64 `json:"local"`
+			Replica int64 `json:"replica"`
+			Peer    int64 `json:"peer"`
+			Miss    int64 `json:"miss"`
 		} `json:"tier"`
 	} `json:"cache"`
 	// Stream summarizes POST /v1/schedule/stream traffic.
@@ -254,7 +320,19 @@ type MetricsSnapshot struct {
 		// computing locally).
 		Forwards        map[string]int64 `json:"forwards"`
 		ForwardFailures map[string]int64 `json:"forwardFailures"`
+		// Probe counts peer cache-probe outcomes; timeouts are distinct
+		// from misses so slow peers are visible separately from cold
+		// ones.
+		Probe struct {
+			Hits     int64 `json:"hits"`
+			Misses   int64 `json:"misses"`
+			Timeouts int64 `json:"timeouts"`
+			Errors   int64 `json:"errors"`
+		} `json:"probe"`
 	} `json:"shard"`
+	// Cluster describes dynamic membership (failure-detector verdicts,
+	// epoch) and cache-replication traffic.
+	Cluster ClusterJSON `json:"cluster"`
 	// Algorithms accumulates makespan and scheduling-runtime summary
 	// statistics per algorithm over every uncached successful request.
 	Algorithms map[string]AlgorithmStats `json:"algorithms"`
